@@ -1,0 +1,30 @@
+//! CLI entry point regenerating the experiment tables of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p sea-bench --release --bin experiments           # all
+//! cargo run -p sea-bench --release --bin experiments -- e4 e5  # subset
+//! ```
+
+use sea_bench::experiments::{run_by_id, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failures = 0;
+    for id in ids {
+        match run_by_id(id) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,67 @@
+//! E4 — rank-join: surgical statistical-index access vs MapReduce (\[30\]).
+//!
+//! Shape target: the surgical operator wins by orders of magnitude in
+//! bytes moved and money, and by a time factor that *grows with data
+//! size* (the paper reports up to 6 orders of magnitude on real
+//! deployments).
+
+use sea_common::{CostMeter, CostModel, Result};
+use sea_rankjoin::{mapreduce_rank_join, surgical_rank_join, ScoreIndex};
+
+use crate::experiments::common::rankjoin_cluster;
+use crate::Report;
+
+/// Runs E4. Columns: tuples per table, time factor, bytes factor, money
+/// factor, tuples retrieved by each side.
+pub fn run_e4() -> Result<Report> {
+    let mut report = Report::new(
+        "E4",
+        "rank-join: surgical index vs MapReduce shuffle",
+        &[
+            "tuples",
+            "time_factor",
+            "bytes_factor",
+            "money_factor",
+            "surgical_tuples",
+            "mapreduce_tuples",
+        ],
+    );
+    let model = CostModel::default();
+    for &n in &[10_000u64, 50_000, 200_000] {
+        let cluster = rankjoin_cluster(n, n / 50, 8)?;
+        let li = ScoreIndex::build(&cluster, "l", &mut CostMeter::new())?;
+        let ri = ScoreIndex::build(&cluster, "r", &mut CostMeter::new())?;
+        let surgical = surgical_rank_join(&li, &ri, 10, 256, &model)?;
+        let mr = mapreduce_rank_join(&cluster, "l", "r", 10, &model)?;
+        let bytes = |o: &sea_rankjoin::RankJoinOutcome| {
+            (o.cost.totals.disk_bytes + o.cost.totals.lan_bytes) as f64
+        };
+        report.push_row(vec![
+            n as f64,
+            mr.cost.wall_us / surgical.cost.wall_us,
+            bytes(&mr) / bytes(&surgical),
+            mr.cost.money / surgical.cost.money.max(1e-12),
+            surgical.tuples_retrieved as f64,
+            mr.tuples_retrieved as f64,
+        ]);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_grow_with_data_size() {
+        let r = run_e4().unwrap();
+        let time = r.column("time_factor");
+        let bytes = r.column("bytes_factor");
+        assert!(
+            time.last().unwrap() > &time[0],
+            "time advantage widens: {time:?}"
+        );
+        assert!(time.last().unwrap() > &5.0, "{time:?}");
+        assert!(bytes.last().unwrap() > &10.0, "{bytes:?}");
+    }
+}

@@ -1,0 +1,57 @@
+//! E5 — distributed kNN: coordinator–cohort vs MapReduce (\[33\]).
+//!
+//! Shape target: the cohort operator's advantage grows with data size
+//! toward the paper's "three orders of magnitude"; its cost scales with
+//! k, not with n.
+
+use sea_common::{CostModel, Point, Result};
+use sea_knn::{mapreduce_knn, DistributedKnnIndex};
+
+use crate::experiments::common::uniform_cluster;
+use crate::Report;
+
+/// Runs E5. Columns: records, k, time factor, disk-bytes factor.
+pub fn run_e5() -> Result<Report> {
+    let mut report = Report::new(
+        "E5",
+        "kNN: coordinator-cohort vs MapReduce",
+        &["records", "k", "time_factor", "bytes_factor"],
+    );
+    let model = CostModel::default();
+    for &n in &[50_000usize, 200_000, 500_000] {
+        let cluster = uniform_cluster(n, 8, 2)?;
+        let index = DistributedKnnIndex::build(&cluster, "t", &model)?;
+        for &k in &[1usize, 10, 50] {
+            let q = Point::new(vec![42.0, 37.0]);
+            let mr = mapreduce_knn(&cluster, "t", &q, k, &model)?;
+            let cc = index.query(&q, k, &model)?;
+            report.push_row(vec![
+                n as f64,
+                k as f64,
+                mr.cost.wall_us / cc.cost.wall_us.max(1e-9),
+                mr.cost.totals.disk_bytes as f64 / (cc.cost.totals.disk_bytes.max(1)) as f64,
+            ]);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advantage_grows_with_n() {
+        let r = run_e5().unwrap();
+        // Compare k=10 rows across sizes.
+        let rows: Vec<(f64, f64)> = r
+            .rows
+            .iter()
+            .filter(|row| row[1] == 10.0)
+            .map(|row| (row[0], row[2]))
+            .collect();
+        assert!(rows.len() == 3);
+        assert!(rows[2].1 > rows[0].1, "factor grows with n: {rows:?}");
+        assert!(rows[2].1 > 100.0, "large-n factor: {rows:?}");
+    }
+}

@@ -1,0 +1,111 @@
+//! E9 — execution-strategy crossovers and the learned selector (RT3).
+//!
+//! Shape target: index-fetch wins narrow selections, scan-aggregate wins
+//! wide ones, the crossover sits at a selectivity between them, and the
+//! trained selector's total cost is close to the per-query oracle.
+
+use sea_common::{AggregateKind, AnalyticalQuery, CostModel, Point, Record, Rect, Region, Result};
+use sea_optimizer::{ExecutionEngines, LearnedOptimizer, QueryStrategy};
+use sea_storage::{Partitioning, StorageCluster};
+
+use crate::Report;
+
+fn cluster() -> Result<StorageCluster> {
+    let mut c = StorageCluster::new(4, 512);
+    let records: Vec<Record> = (0..80_000)
+        .map(|i| Record::new(i, vec![(i / 800) as f64, (i % 800) as f64 / 2.0]))
+        .collect();
+    c.load_table(
+        "t",
+        records,
+        Partitioning::Range {
+            dim: 0,
+            splits: Partitioning::equi_width_splits(0.0, 100.0, 4),
+        },
+    )?;
+    Ok(c)
+}
+
+fn query(e: f64) -> Result<AnalyticalQuery> {
+    Ok(AnalyticalQuery::new(
+        Region::Range(Rect::centered(
+            &Point::new(vec![50.0, 200.0]),
+            &[e, 4.0 * e],
+        )?),
+        AggregateKind::Count,
+    ))
+}
+
+/// Runs E9. Columns: query extent, estimated selectivity, scan µs,
+/// index-fetch µs, oracle choice (0 = scan, 1 = index), learned choice.
+pub fn run_e9() -> Result<Report> {
+    let mut report = Report::new(
+        "E9",
+        "strategy crossover and learned selection",
+        &[
+            "extent",
+            "selectivity",
+            "scan_us",
+            "index_us",
+            "oracle",
+            "learned",
+        ],
+    );
+    let c = cluster()?;
+    let domain = Rect::new(vec![0.0, 0.0], vec![100.0, 400.0])?;
+    let engines = ExecutionEngines::build(&c, "t", domain, 100)?;
+    let model = CostModel::default();
+
+    let mut opt = LearnedOptimizer::new(&c, "t", 32)?;
+    for i in 0..30 {
+        let e = 0.3 + i as f64 * 1.6;
+        opt.train(&engines, &query(e)?, &model)?;
+    }
+
+    for &e in &[0.3, 1.0, 3.0, 8.0, 20.0, 45.0] {
+        let q = query(e)?;
+        let scan = engines.execute(QueryStrategy::ScanAggregate, &q, &model)?;
+        let index = engines.execute(QueryStrategy::IndexFetch, &q, &model)?;
+        let oracle = if scan.cost.wall_us <= index.cost.wall_us {
+            0.0
+        } else {
+            1.0
+        };
+        let learned = match opt.choose(&q)? {
+            QueryStrategy::ScanAggregate => 0.0,
+            QueryStrategy::IndexFetch => 1.0,
+        };
+        report.push_row(vec![
+            e,
+            opt.estimate_selectivity(&q),
+            scan.cost.wall_us,
+            index.cost.wall_us,
+            oracle,
+            learned,
+        ]);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_and_agreement() {
+        let r = run_e9().unwrap();
+        let oracle = r.column("oracle");
+        assert!(
+            oracle.contains(&0.0) && oracle.contains(&1.0),
+            "both strategies win somewhere: {oracle:?}"
+        );
+        // Oracle prefers the index at the narrowest extent and the scan at
+        // the widest.
+        assert_eq!(oracle[0], 1.0);
+        assert_eq!(*oracle.last().unwrap(), 0.0);
+        // The learned selector agrees with the oracle on most settings.
+        let learned = r.column("learned");
+        let agree = oracle.iter().zip(&learned).filter(|(a, b)| a == b).count();
+        assert!(agree * 10 >= oracle.len() * 7, "{agree}/{}", oracle.len());
+    }
+}

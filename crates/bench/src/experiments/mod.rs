@@ -1,0 +1,79 @@
+//! One runner per experiment in DESIGN.md's experiment index.
+
+mod a01_ablations;
+pub mod common;
+mod e01_dataless;
+mod e02_count_accuracy;
+mod e03_avg_regression;
+mod e04_rankjoin;
+mod e05_knn;
+mod e06_graphcache;
+mod e07_throughput;
+mod e08_storage;
+mod e09_optimizer;
+mod e10_geo;
+mod e11_drift;
+mod e12_explanations;
+mod e13_imputation;
+mod e14_model_selection;
+mod e15_polystore;
+mod e16_raw_data;
+mod e17_calibration;
+
+pub use a01_ablations::run_a1;
+pub use e01_dataless::run_e1;
+pub use e02_count_accuracy::run_e2;
+pub use e03_avg_regression::run_e3;
+pub use e04_rankjoin::run_e4;
+pub use e05_knn::run_e5;
+pub use e06_graphcache::run_e6;
+pub use e07_throughput::run_e7;
+pub use e08_storage::run_e8;
+pub use e09_optimizer::run_e9;
+pub use e10_geo::run_e10;
+pub use e11_drift::run_e11;
+pub use e12_explanations::run_e12;
+pub use e13_imputation::run_e13;
+pub use e14_model_selection::run_e14;
+pub use e15_polystore::run_e15;
+pub use e16_raw_data::run_e16;
+pub use e17_calibration::run_e17;
+
+use crate::Report;
+
+/// Runs one experiment by id (`"e1"`…`"e14"`, case-insensitive).
+///
+/// # Errors
+///
+/// Unknown id or experiment-internal errors.
+pub fn run_by_id(id: &str) -> sea_common::Result<Report> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => run_e1(),
+        "e2" => run_e2(),
+        "e3" => run_e3(),
+        "e4" => run_e4(),
+        "e5" => run_e5(),
+        "e6" => run_e6(),
+        "e7" => run_e7(),
+        "e8" => run_e8(),
+        "e9" => run_e9(),
+        "e10" => run_e10(),
+        "e11" => run_e11(),
+        "e12" => run_e12(),
+        "e13" => run_e13(),
+        "e14" => run_e14(),
+        "e15" => run_e15(),
+        "e16" => run_e16(),
+        "e17" => run_e17(),
+        "a1" => run_a1(),
+        other => Err(sea_common::SeaError::NotFound(format!(
+            "experiment {other}"
+        ))),
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL_IDS: [&str; 18] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "a1",
+];

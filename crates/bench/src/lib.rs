@@ -1,0 +1,24 @@
+//! # sea-bench
+//!
+//! The experiment harness: one runner per experiment in DESIGN.md's
+//! experiment index (E1–E14), each regenerating the corresponding
+//! table/claim of the paper on the simulated substrate.
+//!
+//! Every runner returns a [`report::Report`] — a small named-column table —
+//! so results can be printed, asserted on, and recorded in EXPERIMENTS.md.
+//! The `experiments` binary runs any or all of them:
+//!
+//! ```text
+//! cargo run -p sea-bench --release --bin experiments          # all
+//! cargo run -p sea-bench --release --bin experiments -- e4   # one
+//! ```
+//!
+//! Criterion benches over the same kernels live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;

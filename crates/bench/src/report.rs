@@ -1,0 +1,139 @@
+//! A tiny named-column table for experiment results.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Experiment id, e.g. "E4".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows of values, one per parameter setting.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the column count (programmer
+    /// error in an experiment runner).
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch in report {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Value at `(row, column-name)`, if present.
+    pub fn value(&self, row: usize, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|n| n == column)?;
+        self.rows.get(row).and_then(|r| r.get(c)).copied()
+    }
+
+    /// All values of one column.
+    pub fn column(&self, column: &str) -> Vec<f64> {
+        let Some(c) = self.columns.iter().position(|n| n == column) else {
+            return Vec::new();
+        };
+        self.rows.iter().filter_map(|r| r.get(c).copied()).collect()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(10)).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| format_value(*v)).collect())
+            .collect();
+        for row in &cells {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        write!(f, "|")?;
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, " {c:>w$} |")?;
+        }
+        writeln!(f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &cells {
+            write!(f, "|")?;
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, " {cell:>w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if (v - v.round()).abs() < 1e-9 && v.abs() < 1e6 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut r = Report::new("E0", "demo", &["n", "time_us"]);
+        r.push_row(vec![1000.0, 42.5]);
+        r.push_row(vec![2000.0, 99.0]);
+        assert_eq!(r.value(0, "time_us"), Some(42.5));
+        assert_eq!(r.value(1, "n"), Some(2000.0));
+        assert_eq!(r.value(0, "nope"), None);
+        assert_eq!(r.column("n"), vec![1000.0, 2000.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("E0", "demo", &["a", "b"]);
+        r.push_row(vec![1.0]);
+    }
+
+    #[test]
+    fn display_renders_markdown_table() {
+        let mut r = Report::new("E0", "demo", &["n", "factor"]);
+        r.push_row(vec![1e7, 123.456789]);
+        let s = r.to_string();
+        assert!(s.contains("## E0 — demo"));
+        assert!(s.contains("| 1.000e7 |") || s.contains("1.000e7"));
+        assert!(s.contains("123.4568"));
+    }
+}

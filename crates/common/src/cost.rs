@@ -1,0 +1,323 @@
+//! Cost accounting for the simulated distributed substrate.
+//!
+//! The paper's critique of the state of the art (§II-A) is phrased entirely
+//! in resource terms: queries "access large numbers of data server nodes",
+//! "crunch and transfer large volumes of data", and "each layer [of the
+//! BDAS] adds extra overheads at all nodes engaged". This module makes those
+//! quantities first-class: every engine in the workspace charges its work to
+//! a [`CostMeter`], and a [`CostModel`] converts the raw counters into
+//! simulated wall-clock time and money cost — deterministically, so
+//! experiments are reproducible and machine-independent.
+
+use serde::{Deserialize, Serialize};
+
+/// Conversion rates from raw resource counters to simulated time and money.
+///
+/// The defaults model a commodity cluster: 10 ms disk seek, ~100 MB/s
+/// sequential disk, ~1 Gb/s LAN with 0.2 ms per-message latency, ~50 ms WAN
+/// round-trip with ~50 Mb/s effective inter-datacentre bandwidth, and a
+/// per-layer software overhead charged once per BDAS layer per touched node
+/// (the paper's "each layer adding extra overheads").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Microseconds per disk seek (also charged once per MapReduce-style
+    /// split, modelling per-task scheduling overhead).
+    pub disk_seek_us: f64,
+    /// Microseconds per random point read (index-driven record fetch).
+    pub disk_point_us: f64,
+    /// Microseconds per byte read from disk.
+    pub disk_byte_us: f64,
+    /// Microseconds of fixed latency per LAN message.
+    pub lan_msg_us: f64,
+    /// Microseconds per byte sent over the LAN.
+    pub lan_byte_us: f64,
+    /// Microseconds of fixed latency per WAN message.
+    pub wan_msg_us: f64,
+    /// Microseconds per byte sent over the WAN.
+    pub wan_byte_us: f64,
+    /// Microseconds of CPU work per record processed.
+    pub cpu_record_us: f64,
+    /// Microseconds of software overhead per BDAS layer crossing per node.
+    pub layer_us: f64,
+    /// Money cost (arbitrary currency units) per node-second of work.
+    pub money_per_node_second: f64,
+    /// Money cost per gigabyte moved across the WAN.
+    pub money_per_wan_gb: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            disk_seek_us: 10_000.0,
+            disk_point_us: 100.0, // SSD-class point lookup
+            disk_byte_us: 0.01,   // 100 MB/s
+            lan_msg_us: 200.0,    // 0.2 ms
+            lan_byte_us: 0.008,   // 1 Gb/s
+            wan_msg_us: 50_000.0, // 50 ms RTT
+            wan_byte_us: 0.16,    // 50 Mb/s
+            cpu_record_us: 0.05,
+            layer_us: 2_000.0, // 2 ms software tax per layer per node
+            money_per_node_second: 0.0001,
+            money_per_wan_gb: 0.05,
+        }
+    }
+}
+
+/// Raw resource counters accumulated while executing a query or task.
+///
+/// Meters are cheap plain structs; engines create one per task (or per
+/// simulated node) and combine them with [`CostMeter::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostMeter {
+    /// Number of disk seeks performed.
+    pub disk_seeks: u64,
+    /// Number of random point reads performed.
+    pub disk_point_reads: u64,
+    /// Bytes read from disk.
+    pub disk_bytes: u64,
+    /// Messages sent over the LAN.
+    pub lan_msgs: u64,
+    /// Bytes sent over the LAN.
+    pub lan_bytes: u64,
+    /// Messages sent over the WAN.
+    pub wan_msgs: u64,
+    /// Bytes sent over the WAN.
+    pub wan_bytes: u64,
+    /// Records processed by CPU (scanned, filtered, aggregated, joined).
+    pub records_processed: u64,
+    /// BDAS layer crossings (layers × nodes engaged).
+    pub layer_crossings: u64,
+    /// Data-server nodes engaged by the task.
+    pub nodes_touched: u64,
+}
+
+impl CostMeter {
+    /// A fresh zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one disk read of `bytes` bytes (one seek plus the transfer).
+    pub fn charge_disk_read(&mut self, bytes: u64) {
+        self.disk_seeks += 1;
+        self.disk_bytes += bytes;
+    }
+
+    /// Charges one random point read of `bytes` bytes (an index-driven
+    /// record fetch).
+    pub fn charge_point_read(&mut self, bytes: u64) {
+        self.disk_point_reads += 1;
+        self.disk_bytes += bytes;
+    }
+
+    /// Charges one LAN message carrying `bytes` bytes.
+    pub fn charge_lan(&mut self, bytes: u64) {
+        self.lan_msgs += 1;
+        self.lan_bytes += bytes;
+    }
+
+    /// Charges one WAN message carrying `bytes` bytes.
+    pub fn charge_wan(&mut self, bytes: u64) {
+        self.wan_msgs += 1;
+        self.wan_bytes += bytes;
+    }
+
+    /// Charges CPU processing of `records` records.
+    pub fn charge_cpu(&mut self, records: u64) {
+        self.records_processed += records;
+    }
+
+    /// Records that a task engaged one more data-server node, crossing
+    /// `layers` BDAS layers on it.
+    pub fn touch_node(&mut self, layers: u64) {
+        self.nodes_touched += 1;
+        self.layer_crossings += layers;
+    }
+
+    /// Adds another meter's counters into this one (sequential composition
+    /// or simple totalling across nodes).
+    pub fn merge(&mut self, other: &CostMeter) {
+        self.disk_seeks += other.disk_seeks;
+        self.disk_point_reads += other.disk_point_reads;
+        self.disk_bytes += other.disk_bytes;
+        self.lan_msgs += other.lan_msgs;
+        self.lan_bytes += other.lan_bytes;
+        self.wan_msgs += other.wan_msgs;
+        self.wan_bytes += other.wan_bytes;
+        self.records_processed += other.records_processed;
+        self.layer_crossings += other.layer_crossings;
+        self.nodes_touched += other.nodes_touched;
+    }
+
+    /// Simulated elapsed microseconds if all this meter's work ran
+    /// sequentially on one node, under `model`.
+    pub fn sequential_us(&self, model: &CostModel) -> f64 {
+        self.disk_seeks as f64 * model.disk_seek_us
+            + self.disk_point_reads as f64 * model.disk_point_us
+            + self.disk_bytes as f64 * model.disk_byte_us
+            + self.lan_msgs as f64 * model.lan_msg_us
+            + self.lan_bytes as f64 * model.lan_byte_us
+            + self.wan_msgs as f64 * model.wan_msg_us
+            + self.wan_bytes as f64 * model.wan_byte_us
+            + self.records_processed as f64 * model.cpu_record_us
+            + self.layer_crossings as f64 * model.layer_us
+    }
+
+    /// Builds the final [`CostReport`] for a task whose per-node work is
+    /// described by `per_node` meters running **in parallel**, plus this
+    /// meter's own coordinator-side (sequential) work. Wall-clock is the
+    /// slowest node plus the coordinator; totals and money sum everything.
+    pub fn report_parallel<'a, I>(&self, per_node: I, model: &CostModel) -> CostReport
+    where
+        I: IntoIterator<Item = &'a CostMeter>,
+    {
+        let mut totals = *self;
+        let mut slowest = 0.0f64;
+        for m in per_node {
+            slowest = slowest.max(m.sequential_us(model));
+            totals.merge(m);
+        }
+        let wall_us = self.sequential_us(model) + slowest;
+        CostReport::from_totals(totals, wall_us, model)
+    }
+
+    /// Builds the final [`CostReport`] for purely sequential execution.
+    pub fn report_sequential(&self, model: &CostModel) -> CostReport {
+        CostReport::from_totals(*self, self.sequential_us(model), model)
+    }
+}
+
+/// The outcome of cost accounting for one task: total resource counters,
+/// simulated wall-clock time, and money cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Summed resource counters across all nodes.
+    pub totals: CostMeter,
+    /// Simulated wall-clock microseconds (accounts for node parallelism).
+    pub wall_us: f64,
+    /// Money cost in arbitrary currency units.
+    pub money: f64,
+}
+
+impl CostReport {
+    fn from_totals(totals: CostMeter, wall_us: f64, model: &CostModel) -> Self {
+        // Money charges every node for the wall duration of the task plus
+        // the WAN transfer volume.
+        let node_seconds = (totals.nodes_touched.max(1)) as f64 * wall_us / 1e6;
+        let money = node_seconds * model.money_per_node_second
+            + totals.wan_bytes as f64 / 1e9 * model.money_per_wan_gb;
+        CostReport {
+            totals,
+            wall_us,
+            money,
+        }
+    }
+
+    /// A zero-cost report (e.g. a pure in-memory model prediction).
+    pub fn zero() -> Self {
+        CostReport {
+            totals: CostMeter::default(),
+            wall_us: 0.0,
+            money: 0.0,
+        }
+    }
+
+    /// Combines two reports executed one after the other.
+    pub fn then(&self, later: &CostReport) -> CostReport {
+        let mut totals = self.totals;
+        totals.merge(&later.totals);
+        CostReport {
+            totals,
+            wall_us: self.wall_us + later.wall_us,
+            money: self.money + later.money,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_sane() {
+        let m = CostModel::default();
+        // Reading 1 MB: one 10 ms seek + ~10 ms transfer.
+        let mut meter = CostMeter::new();
+        meter.charge_disk_read(1_000_000);
+        let us = meter.sequential_us(&m);
+        assert!((us - 20_000.0).abs() < 1.0, "got {us}");
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CostMeter::new();
+        a.charge_lan(100);
+        a.touch_node(3);
+        let mut b = CostMeter::new();
+        b.charge_lan(50);
+        b.charge_cpu(10);
+        a.merge(&b);
+        assert_eq!(a.lan_msgs, 2);
+        assert_eq!(a.lan_bytes, 150);
+        assert_eq!(a.records_processed, 10);
+        assert_eq!(a.nodes_touched, 1);
+        assert_eq!(a.layer_crossings, 3);
+    }
+
+    #[test]
+    fn parallel_report_takes_slowest_node() {
+        let model = CostModel::default();
+        let mut coord = CostMeter::new();
+        coord.charge_lan(0); // one message: 200us
+
+        let mut fast = CostMeter::new();
+        fast.charge_cpu(100); // 5 us
+        let mut slow = CostMeter::new();
+        slow.charge_cpu(1_000_000); // 50_000 us
+
+        let report = coord.report_parallel([&fast, &slow], &model);
+        assert!((report.wall_us - (200.0 + 50_000.0)).abs() < 1e-9);
+        assert_eq!(report.totals.records_processed, 1_000_100);
+    }
+
+    #[test]
+    fn sequential_report_sums_everything() {
+        let model = CostModel::default();
+        let mut m = CostMeter::new();
+        m.charge_cpu(1_000_000);
+        m.charge_disk_read(0);
+        let report = m.report_sequential(&model);
+        assert!((report.wall_us - (50_000.0 + 10_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wan_traffic_costs_money() {
+        let model = CostModel::default();
+        let mut m = CostMeter::new();
+        m.charge_wan(2_000_000_000); // 2 GB
+        let report = m.report_sequential(&model);
+        assert!(report.money > 2.0 * model.money_per_wan_gb * 0.99);
+    }
+
+    #[test]
+    fn then_composes_sequentially() {
+        let model = CostModel::default();
+        let mut a = CostMeter::new();
+        a.charge_cpu(100);
+        let mut b = CostMeter::new();
+        b.charge_cpu(200);
+        let ra = a.report_sequential(&model);
+        let rb = b.report_sequential(&model);
+        let c = ra.then(&rb);
+        assert_eq!(c.totals.records_processed, 300);
+        assert!((c.wall_us - (ra.wall_us + rb.wall_us)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_report() {
+        let z = CostReport::zero();
+        assert_eq!(z.wall_us, 0.0);
+        assert_eq!(z.money, 0.0);
+        assert_eq!(z.totals, CostMeter::default());
+    }
+}

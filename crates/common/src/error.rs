@@ -1,0 +1,112 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced by SEA library crates.
+///
+/// All fallible public APIs in the workspace return
+/// [`crate::Result`]`<T>` = `Result<T, SeaError>`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SeaError {
+    /// A point, record, or region had a different dimensionality than the
+    /// structure it was used with.
+    DimensionMismatch {
+        /// Dimensionality the structure expects.
+        expected: usize,
+        /// Dimensionality that was supplied.
+        actual: usize,
+    },
+    /// A numeric argument was outside its valid range.
+    InvalidArgument(String),
+    /// A named entity (table, node, model, dataset) does not exist.
+    NotFound(String),
+    /// The operation requires data (or training) that is not yet available.
+    Empty(String),
+    /// A model could not be trained or evaluated.
+    Model(String),
+    /// The simulated storage or network layer rejected the operation.
+    Storage(String),
+    /// Serialization or deserialization failed.
+    Serde(String),
+}
+
+impl fmt::Display for SeaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeaError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "dimension mismatch: expected {expected} dimensions, got {actual}"
+            ),
+            SeaError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            SeaError::NotFound(what) => write!(f, "not found: {what}"),
+            SeaError::Empty(what) => write!(f, "empty: {what}"),
+            SeaError::Model(msg) => write!(f, "model error: {msg}"),
+            SeaError::Storage(msg) => write!(f, "storage error: {msg}"),
+            SeaError::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeaError {}
+
+impl SeaError {
+    /// Convenience constructor for [`SeaError::InvalidArgument`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        SeaError::InvalidArgument(msg.into())
+    }
+
+    /// Checks that `actual == expected`, returning a
+    /// [`SeaError::DimensionMismatch`] otherwise.
+    pub fn check_dims(expected: usize, actual: usize) -> crate::Result<()> {
+        if expected == actual {
+            Ok(())
+        } else {
+            Err(SeaError::DimensionMismatch { expected, actual })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = SeaError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch: expected 3 dimensions, got 2"
+        );
+        assert_eq!(
+            SeaError::invalid("k must be > 0").to_string(),
+            "invalid argument: k must be > 0"
+        );
+    }
+
+    #[test]
+    fn check_dims_accepts_equal() {
+        assert!(SeaError::check_dims(4, 4).is_ok());
+    }
+
+    #[test]
+    fn check_dims_rejects_unequal() {
+        let err = SeaError::check_dims(4, 5).unwrap_err();
+        assert_eq!(
+            err,
+            SeaError::DimensionMismatch {
+                expected: 4,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let e: Box<dyn std::error::Error> = Box::new(SeaError::NotFound("table t".into()));
+        assert!(e.to_string().contains("table t"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests of the geometric and statistical core types.
+
+use proptest::prelude::*;
+
+use sea_common::{AggregateKind, BivariateStats, Point, Record, Rect};
+
+fn arb_rect(max: f64) -> impl Strategy<Value = Rect> {
+    (0.0..max, 0.0..max, 0.01..max, 0.01..max)
+        .prop_map(|(x, y, w, h)| Rect::new(vec![x, y], vec![x + w, y + h]).unwrap())
+}
+
+fn arb_point(max: f64) -> impl Strategy<Value = Point> {
+    (0.0..max, 0.0..max).prop_map(|(x, y)| Point::new(vec![x, y]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn intersection_is_commutative(a in arb_rect(50.0), b in arb_rect(50.0)) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        match (a.intersection(&b), b.intersection(&a)) {
+            (Some(x), Some(y)) => prop_assert_eq!(x, y),
+            (None, None) => {}
+            other => prop_assert!(false, "asymmetric intersection: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(50.0), b in arb_rect(50.0)) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.volume() <= a.volume() + 1e-9);
+            prop_assert!(i.volume() <= b.volume() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(50.0), b in arb_rect(50.0)) {
+        let u = a.union(&b).unwrap();
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.volume() + 1e-9 >= a.volume().max(b.volume()));
+    }
+
+    #[test]
+    fn contained_point_implies_intersection(r in arb_rect(50.0), p in arb_point(60.0)) {
+        if r.contains(&p) {
+            let tiny = Rect::centered(&p, &[1e-9, 1e-9]).unwrap();
+            prop_assert!(r.intersects(&tiny));
+            prop_assert_eq!(r.min_distance(&p).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn overlap_fraction_is_a_fraction(a in arb_rect(50.0), b in arb_rect(50.0)) {
+        let f = a.overlap_fraction(&b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f));
+        // Overlap with itself is 1.
+        prop_assert!((a.overlap_fraction(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centered_roundtrip(p in arb_point(50.0), e1 in 0.01f64..10.0, e2 in 0.01f64..10.0) {
+        let r = Rect::centered(&p, &[e1, e2]).unwrap();
+        let c = r.center();
+        prop_assert!((c.coord(0) - p.coord(0)).abs() < 1e-9);
+        prop_assert!((c.coord(1) - p.coord(1)).abs() < 1e-9);
+        let ex = r.extents();
+        prop_assert!((ex[0] - e1).abs() < 1e-9);
+        prop_assert!((ex[1] - e2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_distance_triangle_consistency(r in arb_rect(50.0), p in arb_point(60.0)) {
+        // min_distance(p) ≤ distance(p, center) always.
+        let d = r.min_distance(&p).unwrap();
+        let to_center = p.distance(&r.center()).unwrap();
+        prop_assert!(d <= to_center + 1e-9);
+    }
+
+    #[test]
+    fn distances_satisfy_metric_basics(
+        a in arb_point(100.0),
+        b in arb_point(100.0),
+        c in arb_point(100.0),
+    ) {
+        let ab = a.distance(&b).unwrap();
+        let ba = b.distance(&a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab >= 0.0);
+        // Triangle inequality.
+        let ac = a.distance(&c).unwrap();
+        let cb = c.distance(&b).unwrap();
+        prop_assert!(ab <= ac + cb + 1e-9);
+        // Norm ordering: chebyshev ≤ euclidean ≤ manhattan.
+        let ch = a.chebyshev_distance(&b).unwrap();
+        let mh = a.manhattan_distance(&b).unwrap();
+        prop_assert!(ch <= ab + 1e-9);
+        prop_assert!(ab <= mh + 1e-9);
+    }
+
+    #[test]
+    fn aggregates_are_permutation_invariant(values in prop::collection::vec(0.0f64..100.0, 2..40)) {
+        let records: Vec<Record> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Record::new(i as u64, vec![v, 100.0 - v]))
+            .collect();
+        let mut shuffled = records.clone();
+        shuffled.reverse();
+        for agg in [
+            AggregateKind::Count,
+            AggregateKind::Sum { dim: 0 },
+            AggregateKind::Mean { dim: 0 },
+            AggregateKind::Variance { dim: 1 },
+            AggregateKind::Median { dim: 0 },
+        ] {
+            let a = agg.compute(&records).unwrap();
+            let b = agg.compute(&shuffled).unwrap();
+            prop_assert!(a.relative_error(&b) < 1e-9, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn variance_is_nonnegative_and_mean_in_range(values in prop::collection::vec(-50.0f64..50.0, 1..40)) {
+        let records: Vec<Record> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Record::new(i as u64, vec![v]))
+            .collect();
+        let var = AggregateKind::Variance { dim: 0 }
+            .compute(&records)
+            .unwrap()
+            .as_scalar()
+            .unwrap();
+        prop_assert!(var >= -1e-9);
+        let mean = AggregateKind::Mean { dim: 0 }
+            .compute(&records)
+            .unwrap()
+            .as_scalar()
+            .unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    #[test]
+    fn correlation_is_bounded_and_symmetric(values in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 3..40)) {
+        let mut stats = BivariateStats::default();
+        let mut flipped = BivariateStats::default();
+        for (x, y) in &values {
+            stats.push(*x, *y);
+            flipped.push(*y, *x);
+        }
+        if let (Ok(a), Ok(b)) = (stats.correlation(), flipped.correlation()) {
+            prop_assert!(a.abs() <= 1.0 + 1e-9);
+            prop_assert!((a - b).abs() < 1e-9, "corr(x,y) == corr(y,x)");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(0.0f64..100.0, 2..40)) {
+        let records: Vec<Record> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Record::new(i as u64, vec![v]))
+            .collect();
+        let q = |level: f64| {
+            AggregateKind::Quantile { dim: 0, q: level }
+                .compute(&records)
+                .unwrap()
+                .as_scalar()
+                .unwrap()
+        };
+        prop_assert!(q(0.0) <= q(0.25) + 1e-9);
+        prop_assert!(q(0.25) <= q(0.5) + 1e-9);
+        prop_assert!(q(0.5) <= q(0.75) + 1e-9);
+        prop_assert!(q(0.75) <= q(1.0) + 1e-9);
+    }
+}

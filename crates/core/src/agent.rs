@@ -1,0 +1,1028 @@
+//! The SEA agent: query-space quantization, per-quantum answer models,
+//! prediction with error estimation, and model maintenance.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sea_common::{AggregateKind, AnalyticalQuery, AnswerValue, Rect, Result, SeaError};
+use sea_ml::linreg::RecursiveLeastSquares;
+use sea_ml::quantize::{OnlineQuantizer, QuantizerParams};
+use sea_ml::Regressor;
+
+/// Configuration of a [`SeaAgent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Query-space quantizer parameters. `spawn_distance` is in query-vector
+    /// units (centre ⊕ extents), so it should scale with the data domain.
+    pub quantizer: QuantizerParams,
+    /// Minimum training queries a quantum needs before its local model is
+    /// trusted for prediction.
+    pub min_training: u64,
+    /// RLS forgetting factor in `(0, 1]`; below 1 the agent tracks drifting
+    /// answer functions.
+    pub forget: f64,
+    /// Neighbours used by the raw-pair fallback predictor.
+    pub knn_k: usize,
+    /// Cap on stored raw training pairs per quantum (memory bound; also
+    /// the explanation sample).
+    pub max_pairs_per_quantum: usize,
+    /// Weight of the distance-to-prototype term in the error estimate.
+    pub distance_penalty: f64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            quantizer: QuantizerParams {
+                spawn_distance: 10.0,
+                learning_rate: 0.1,
+                decay: 0.02,
+                max_prototypes: 0,
+            },
+            min_training: 8,
+            forget: 1.0,
+            knn_k: 5,
+            max_pairs_per_quantum: 256,
+            distance_penalty: 0.05,
+        }
+    }
+}
+
+/// A prediction produced without touching base data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The predicted answer.
+    pub answer: AnswerValue,
+    /// Estimated relative error (prequential residual mean of the quantum,
+    /// inflated with the query's distance from the quantum prototype).
+    pub estimated_error: f64,
+    /// Index of the quantum that produced the prediction (within its
+    /// operator pool).
+    pub quantum: usize,
+    /// Training queries the quantum has absorbed.
+    pub quantum_training: u64,
+}
+
+/// Running prequential error statistics of one quantum.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct ResidualStats {
+    n: u64,
+    mean_abs_rel: f64,
+}
+
+impl ResidualStats {
+    /// Exponentially-smoothed absolute relative error.
+    fn push(&mut self, rel_err: f64) {
+        self.n += 1;
+        let alpha = (2.0 / (1.0 + self.n as f64)).max(0.05);
+        self.mean_abs_rel += alpha * (rel_err - self.mean_abs_rel);
+    }
+
+    fn estimate(&self) -> f64 {
+        if self.n == 0 {
+            f64::INFINITY
+        } else {
+            self.mean_abs_rel
+        }
+    }
+}
+
+/// The local model of one quantum: incremental linear model(s) over query
+/// geometry plus the retained raw pairs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuantumModel {
+    /// Primary model (scalar answers; slope for pair answers).
+    primary: RecursiveLeastSquares,
+    /// Secondary model (intercept of pair answers), if the pool's operator
+    /// returns pairs.
+    secondary: Option<RecursiveLeastSquares>,
+    residuals: ResidualStats,
+    training: u64,
+    /// Retained `(features, answer)` pairs for kNN fallback + explanations.
+    pairs: Vec<(Vec<f64>, AnswerValue)>,
+}
+
+impl QuantumModel {
+    fn new(feature_dims: usize, pair_answer: bool, forget: f64) -> Result<Self> {
+        Ok(QuantumModel {
+            primary: RecursiveLeastSquares::new(feature_dims, 100.0, forget)?,
+            secondary: if pair_answer {
+                Some(RecursiveLeastSquares::new(feature_dims, 100.0, forget)?)
+            } else {
+                None
+            },
+            residuals: ResidualStats::default(),
+            training: 0,
+            pairs: Vec::new(),
+        })
+    }
+
+    fn predict(&self, features: &[f64]) -> AnswerValue {
+        match &self.secondary {
+            None => AnswerValue::Scalar(self.primary.predict(features)),
+            Some(s) => AnswerValue::Pair(self.primary.predict(features), s.predict(features)),
+        }
+    }
+
+    fn train(&mut self, features: &[f64], answer: &AnswerValue, max_pairs: usize) -> Result<()> {
+        // Prequential residual: evaluate before updating.
+        if self.training > 0 {
+            let pred = self.predict(features);
+            self.residuals.push(pred.relative_error(answer).min(10.0));
+        }
+        match (answer, &mut self.secondary) {
+            (AnswerValue::Scalar(v), None) => self.primary.update(features, *v)?,
+            (AnswerValue::Pair(a, b), Some(s)) => {
+                self.primary.update(features, *a)?;
+                s.update(features, *b)?;
+            }
+            _ => {
+                return Err(SeaError::Model(
+                    "answer shape inconsistent with operator pool".into(),
+                ))
+            }
+        }
+        self.training += 1;
+        if self.pairs.len() >= max_pairs {
+            self.pairs.remove(0);
+        }
+        self.pairs.push((features.to_vec(), *answer));
+        Ok(())
+    }
+
+    fn knn_predict(&self, features: &[f64], k: usize) -> Option<AnswerValue> {
+        if self.pairs.is_empty() {
+            return None;
+        }
+        let mut dists: Vec<(f64, &AnswerValue)> = self
+            .pairs
+            .iter()
+            .map(|(x, a)| {
+                let d: f64 = x.iter().zip(features).map(|(p, q)| (p - q) * (p - q)).sum();
+                (d.sqrt(), a)
+            })
+            .collect();
+        let k = k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let neigh = &dists[..k];
+        let mut w_sum = 0.0;
+        let mut acc = (0.0, 0.0);
+        let mut is_pair = false;
+        for (d, a) in neigh {
+            let w = 1.0 / (d + 1e-9);
+            w_sum += w;
+            match a {
+                AnswerValue::Scalar(v) => acc.0 += w * v,
+                AnswerValue::Pair(x, y) => {
+                    is_pair = true;
+                    acc.0 += w * x;
+                    acc.1 += w * y;
+                }
+                _ => {}
+            }
+        }
+        Some(if is_pair {
+            AnswerValue::Pair(acc.0 / w_sum, acc.1 / w_sum)
+        } else {
+            AnswerValue::Scalar(acc.0 / w_sum)
+        })
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        let rls = |m: &RecursiveLeastSquares| (m.dims() as u64 + 1).pow(2) * 8 + 64;
+        let pairs: u64 = self
+            .pairs
+            .iter()
+            .map(|(x, _)| 8 * x.len() as u64 + 24)
+            .sum();
+        rls(&self.primary) + self.secondary.as_ref().map_or(0, rls) + pairs + 64
+    }
+}
+
+/// One operator pool: a quantizer plus per-quantum models for a single
+/// aggregate operator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Pool {
+    quantizer: OnlineQuantizer,
+    models: Vec<QuantumModel>,
+    pair_answer: bool,
+}
+
+/// Hashable key identifying an operator pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct AggKey {
+    tag: u8,
+    a: usize,
+    b: usize,
+    qbits: u64,
+}
+
+fn agg_key(agg: &AggregateKind) -> AggKey {
+    match *agg {
+        AggregateKind::Count => AggKey {
+            tag: 0,
+            a: 0,
+            b: 0,
+            qbits: 0,
+        },
+        AggregateKind::Sum { dim } => AggKey {
+            tag: 1,
+            a: dim,
+            b: 0,
+            qbits: 0,
+        },
+        AggregateKind::Mean { dim } => AggKey {
+            tag: 2,
+            a: dim,
+            b: 0,
+            qbits: 0,
+        },
+        AggregateKind::Variance { dim } => AggKey {
+            tag: 3,
+            a: dim,
+            b: 0,
+            qbits: 0,
+        },
+        AggregateKind::Min { dim } => AggKey {
+            tag: 4,
+            a: dim,
+            b: 0,
+            qbits: 0,
+        },
+        AggregateKind::Max { dim } => AggKey {
+            tag: 5,
+            a: dim,
+            b: 0,
+            qbits: 0,
+        },
+        AggregateKind::Median { dim } => AggKey {
+            tag: 6,
+            a: dim,
+            b: 0,
+            qbits: 0,
+        },
+        AggregateKind::Quantile { dim, q } => AggKey {
+            tag: 7,
+            a: dim,
+            b: 0,
+            qbits: q.to_bits(),
+        },
+        AggregateKind::Correlation { x, y } => AggKey {
+            tag: 8,
+            a: x,
+            b: y,
+            qbits: 0,
+        },
+        AggregateKind::Regression { x, y } => AggKey {
+            tag: 9,
+            a: x,
+            b: y,
+            qbits: 0,
+        },
+        _ => AggKey {
+            tag: u8::MAX,
+            a: 0,
+            b: 0,
+            qbits: 0,
+        },
+    }
+}
+
+fn is_pair_answer(agg: &AggregateKind) -> bool {
+    matches!(agg, AggregateKind::Regression { .. })
+}
+
+/// Aggregate statistics about an agent's state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentStats {
+    /// Operator pools held.
+    pub pools: usize,
+    /// Total quanta across pools.
+    pub quanta: usize,
+    /// Total training queries absorbed.
+    pub training_queries: u64,
+    /// Approximate memory footprint in bytes (the E8 metric).
+    pub memory_bytes: u64,
+}
+
+/// The intelligent agent of Fig 2.
+///
+/// # Examples
+///
+/// ```
+/// use sea_common::{AggregateKind, AnalyticalQuery, AnswerValue, Point, Rect, Region};
+/// use sea_core::{AgentConfig, SeaAgent};
+///
+/// let mut agent = SeaAgent::new(2, AgentConfig::default()).unwrap();
+/// // Train: count grows linearly with volume in this synthetic answer fn.
+/// for i in 0..50 {
+///     let e = 1.0 + (i % 10) as f64 / 10.0;
+///     let region = Region::Range(
+///         Rect::centered(&Point::new(vec![50.0, 50.0]), &[e, e]).unwrap(),
+///     );
+///     let q = AnalyticalQuery::new(region, AggregateKind::Count);
+///     let truth = AnswerValue::Scalar(4.0 * e * e * 3.0);
+///     agent.train(&q, &truth).unwrap();
+/// }
+/// let probe = AnalyticalQuery::new(
+///     Region::Range(Rect::centered(&Point::new(vec![50.0, 50.0]), &[1.5, 1.5]).unwrap()),
+///     AggregateKind::Count,
+/// );
+/// let pred = agent.predict(&probe).unwrap();
+/// assert!((pred.answer.as_scalar().unwrap() - 27.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeaAgent {
+    config: AgentConfig,
+    dims: usize,
+    pools: HashMap<AggKey, Pool>,
+    training_queries: u64,
+}
+
+/// The wire form of a [`SeaAgent`]: pools as explicit pairs (JSON maps
+/// need string keys, so the HashMap is flattened for transport).
+#[derive(Debug, Serialize, Deserialize)]
+struct AgentWire {
+    config: AgentConfig,
+    dims: usize,
+    pools: Vec<(AggKey, Pool)>,
+    training_queries: u64,
+}
+
+impl SeaAgent {
+    /// Creates an agent for `dims`-dimensional data.
+    ///
+    /// # Errors
+    ///
+    /// Zero dims or invalid configuration parameters.
+    pub fn new(dims: usize, config: AgentConfig) -> Result<Self> {
+        if dims == 0 {
+            return Err(SeaError::invalid("agent needs at least one data dimension"));
+        }
+        if config.knn_k == 0 {
+            return Err(SeaError::invalid("knn_k must be positive"));
+        }
+        if config.max_pairs_per_quantum == 0 {
+            return Err(SeaError::invalid("max_pairs_per_quantum must be positive"));
+        }
+        // Validate quantizer params eagerly by constructing a throwaway.
+        OnlineQuantizer::new(2 * dims, config.quantizer.clone())?;
+        RecursiveLeastSquares::new(1, 100.0, config.forget)?;
+        Ok(SeaAgent {
+            config,
+            dims,
+            pools: HashMap::new(),
+            training_queries: 0,
+        })
+    }
+
+    /// Data dimensionality this agent serves.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// Feature embedding of a query: `[centre, extents, volume]`.
+    fn features(&self, query: &AnalyticalQuery) -> Vec<f64> {
+        let mut f = query.to_query_vector();
+        f.push(query.region.volume());
+        f
+    }
+
+    /// Absorbs one `(query, exact answer)` training observation.
+    ///
+    /// # Errors
+    ///
+    /// Dimension mismatch between query and agent, or an answer shape that
+    /// does not match the operator (e.g. a scalar for a regression query).
+    pub fn train(&mut self, query: &AnalyticalQuery, answer: &AnswerValue) -> Result<()> {
+        SeaError::check_dims(self.dims, query.region.dims())?;
+        let key = agg_key(&query.aggregate);
+        let qvec = query.to_query_vector();
+        let features = self.features(query);
+        let feature_dims = features.len();
+        let pair = is_pair_answer(&query.aggregate);
+        let forget = self.config.forget;
+        let quant_params = self.config.quantizer.clone();
+        let pool = match self.pools.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(Pool {
+                quantizer: OnlineQuantizer::new(qvec.len(), quant_params)?,
+                models: Vec::new(),
+                pair_answer: pair,
+            }),
+        };
+        let (idx, spawned) = pool.quantizer.absorb(&qvec)?;
+        if spawned {
+            debug_assert_eq!(idx, pool.models.len());
+            pool.models
+                .push(QuantumModel::new(feature_dims, pair, forget)?);
+        }
+        pool.models[idx].train(&features, answer, self.config.max_pairs_per_quantum)?;
+        self.training_queries += 1;
+        Ok(())
+    }
+
+    /// Predicts the answer to `query` without touching base data.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::Empty`] when no quantum can serve the operator yet (the
+    /// caller should execute exactly and [`SeaAgent::train`] on the
+    /// result), or a dimension mismatch.
+    pub fn predict(&self, query: &AnalyticalQuery) -> Result<Prediction> {
+        SeaError::check_dims(self.dims, query.region.dims())?;
+        let key = agg_key(&query.aggregate);
+        let pool = self
+            .pools
+            .get(&key)
+            .ok_or_else(|| SeaError::Empty("no model pool for this operator yet".into()))?;
+        let qvec = query.to_query_vector();
+        let (idx, dist_sq) = pool
+            .quantizer
+            .nearest_prototype(&qvec)
+            .ok_or_else(|| SeaError::Empty("operator pool has no quanta".into()))?;
+        let model = &pool.models[idx];
+        let features = self.features(query);
+
+        let answer = if model.training >= self.config.min_training {
+            let mut a = model.predict(&features);
+            // Counts and spreads cannot be negative.
+            a = clamp_answer(&query.aggregate, a);
+            a
+        } else {
+            let a = model
+                .knn_predict(&features, self.config.knn_k)
+                .ok_or_else(|| SeaError::Empty("quantum has no training pairs".into()))?;
+            clamp_answer(&query.aggregate, a)
+        };
+
+        let dist = dist_sq.sqrt();
+        let base_err = model.residuals.estimate();
+        let distance_term =
+            self.config.distance_penalty * dist / self.config.quantizer.spawn_distance;
+        let estimated_error = if model.training < self.config.min_training || !base_err.is_finite()
+        {
+            // Undertrained quantum: be pessimistic (but finite, so callers
+            // can still rank candidates) until enough exact answers have
+            // been absorbed.
+            (1.0 + distance_term).max(base_err.min(10.0))
+        } else {
+            base_err + distance_term
+        };
+        Ok(Prediction {
+            answer,
+            estimated_error,
+            quantum: idx,
+            quantum_training: model.training,
+        })
+    }
+
+    /// Training pairs retained by the quantum that would serve `query`
+    /// (used by explanation fitting). Empty when the operator pool is
+    /// missing.
+    pub fn quantum_pairs(&self, query: &AnalyticalQuery) -> Vec<(Vec<f64>, AnswerValue)> {
+        let key = agg_key(&query.aggregate);
+        let Some(pool) = self.pools.get(&key) else {
+            return Vec::new();
+        };
+        let qvec = query.to_query_vector();
+        let Some((idx, _)) = pool.quantizer.nearest_prototype(&qvec) else {
+            return Vec::new();
+        };
+        pool.models[idx].pairs.clone()
+    }
+
+    /// Linear weights of the quantum model serving `query`:
+    /// `(weights over [centre, extents, volume], intercept)`. `None` when
+    /// the quantum is missing or undertrained. These weights *are* a
+    /// first-order explanation of how the answer depends on each query
+    /// parameter.
+    pub fn quantum_weights(&self, query: &AnalyticalQuery) -> Option<(Vec<f64>, f64)> {
+        let pool = self.pools.get(&agg_key(&query.aggregate))?;
+        let (idx, _) = pool.quantizer.nearest_prototype(&query.to_query_vector())?;
+        let model = &pool.models[idx];
+        if model.training < self.config.min_training {
+            return None;
+        }
+        let lm = model.primary.model();
+        Some((lm.weights().to_vec(), lm.intercept()))
+    }
+
+    /// Drops quanta (across all pools) not used by the last `max_age`
+    /// training queries of their pool — the query-drift half of model
+    /// maintenance. Returns how many quanta were purged.
+    pub fn purge_stale(&mut self, max_age: u64) -> usize {
+        let mut purged = 0;
+        for pool in self.pools.values_mut() {
+            let dropped = pool.quantizer.purge_stale(max_age);
+            // Remove models at dropped indices, descending so indices stay
+            // valid.
+            for &i in dropped.iter().rev() {
+                pool.models.remove(i);
+                purged += 1;
+            }
+        }
+        purged
+    }
+
+    /// Invalidates every quantum whose interest region (prototype centre ±
+    /// extents) intersects `region` — the base-data-update half of model
+    /// maintenance: after inserts/deletes inside `region`, models there
+    /// are stale and must relearn. Returns how many quanta were reset.
+    ///
+    /// # Errors
+    ///
+    /// Dimension mismatch.
+    pub fn invalidate_region(&mut self, region: &Rect) -> Result<usize> {
+        SeaError::check_dims(self.dims, region.dims())?;
+        let mut reset = 0;
+        let forget = self.config.forget;
+        for pool in self.pools.values_mut() {
+            let pair = pool.pair_answer;
+            for (proto, model) in pool
+                .quantizer
+                .prototypes()
+                .iter()
+                .zip(pool.models.iter_mut())
+            {
+                let dims = region.dims();
+                let centre = &proto.position[..dims];
+                let extents = &proto.position[dims..2 * dims];
+                let overlaps = (0..dims).all(|d| {
+                    let lo = centre[d] - extents[d].abs();
+                    let hi = centre[d] + extents[d].abs();
+                    lo <= region.hi()[d] && region.lo()[d] <= hi
+                });
+                if overlaps {
+                    let feature_dims = 2 * dims + 1;
+                    *model = QuantumModel::new(feature_dims, pair, forget)
+                        .expect("validated at construction");
+                    reset += 1;
+                }
+            }
+        }
+        Ok(reset)
+    }
+
+    /// Extracts the sub-agent whose quanta's interest regions intersect
+    /// `region` — the model-placement primitive of RT5-3 ("only models for
+    /// the (much smaller) data subspaces of interest are built" and
+    /// "carefully distributed at edge nodes"). The result predicts
+    /// identically to `self` inside `region` and knows nothing elsewhere;
+    /// shipping it costs proportionally fewer bytes than the full agent.
+    ///
+    /// # Errors
+    ///
+    /// Dimension mismatch.
+    pub fn subset_for_region(&self, region: &Rect) -> Result<SeaAgent> {
+        SeaError::check_dims(self.dims, region.dims())?;
+        let mut out = SeaAgent::new(self.dims, self.config.clone())?;
+        for (key, pool) in &self.pools {
+            let mut new_pool: Option<Pool> = None;
+            for (proto, model) in pool
+                .quantizer
+                .prototypes()
+                .iter()
+                .zip(pool.models.iter())
+            {
+                let dims = region.dims();
+                let centre = &proto.position[..dims];
+                let extents = &proto.position[dims..2 * dims];
+                let overlaps = (0..dims).all(|d| {
+                    let lo = centre[d] - extents[d].abs();
+                    let hi = centre[d] + extents[d].abs();
+                    lo <= region.hi()[d] && region.lo()[d] <= hi
+                });
+                if !overlaps {
+                    continue;
+                }
+                let p = new_pool.get_or_insert_with(|| Pool {
+                    quantizer: OnlineQuantizer::new(
+                        proto.position.len(),
+                        self.config.quantizer.clone(),
+                    )
+                    .expect("validated config"),
+                    models: Vec::new(),
+                    pair_answer: pool.pair_answer,
+                });
+                // Re-absorb the prototype position so the subset's
+                // quantizer routes queries exactly as the original would
+                // within the region. Prototypes that drifted within one
+                // spawn distance of an already-absorbed one merge into it
+                // (their model is dropped; its neighbour serves the area),
+                // keeping quantizer and model lists aligned.
+                let (_, spawned) = p
+                    .quantizer
+                    .absorb(&proto.position)
+                    .expect("dims match by construction");
+                if spawned {
+                    p.models.push(model.clone());
+                }
+            }
+            if let Some(p) = new_pool {
+                out.pools.insert(*key, p);
+            }
+        }
+        out.training_queries = self.training_queries;
+        Ok(out)
+    }
+
+    /// Serializes the agent's full model state to JSON — the payload of
+    /// "the models themselves are migrated" (RT1-5) and of edge model
+    /// shipping (RT5-2). The byte length is the honest WAN bill.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failures surface as [`SeaError::Serde`].
+    pub fn to_json(&self) -> Result<String> {
+        let wire = AgentWire {
+            config: self.config.clone(),
+            dims: self.dims,
+            pools: self.pools.iter().map(|(k, p)| (*k, p.clone())).collect(),
+            training_queries: self.training_queries,
+        };
+        serde_json::to_string(&wire).map_err(|e| SeaError::Serde(e.to_string()))
+    }
+
+    /// Reconstructs an agent from [`SeaAgent::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON surfaces as [`SeaError::Serde`].
+    pub fn from_json(json: &str) -> Result<Self> {
+        let wire: AgentWire =
+            serde_json::from_str(json).map_err(|e| SeaError::Serde(e.to_string()))?;
+        Ok(SeaAgent {
+            config: wire.config,
+            dims: wire.dims,
+            pools: wire.pools.into_iter().collect(),
+            training_queries: wire.training_queries,
+        })
+    }
+
+    /// Aggregate statistics, including the memory footprint used by
+    /// experiment E8.
+    pub fn stats(&self) -> AgentStats {
+        let quanta = self.pools.values().map(|p| p.models.len()).sum();
+        let memory_bytes = self
+            .pools
+            .values()
+            .map(|p| {
+                let proto: u64 = p
+                    .quantizer
+                    .prototypes()
+                    .iter()
+                    .map(|pr| 8 * pr.position.len() as u64 + 24)
+                    .sum();
+                let models: u64 = p.models.iter().map(QuantumModel::memory_bytes).sum();
+                proto + models + 64
+            })
+            .sum();
+        AgentStats {
+            pools: self.pools.len(),
+            quanta,
+            training_queries: self.training_queries,
+            memory_bytes,
+        }
+    }
+}
+
+fn clamp_answer(agg: &AggregateKind, a: AnswerValue) -> AnswerValue {
+    match (agg, a) {
+        (AggregateKind::Count, AnswerValue::Scalar(v)) => AnswerValue::Scalar(v.max(0.0)),
+        (AggregateKind::Variance { .. }, AnswerValue::Scalar(v)) => AnswerValue::Scalar(v.max(0.0)),
+        (AggregateKind::Correlation { .. }, AnswerValue::Scalar(v)) => {
+            AnswerValue::Scalar(v.clamp(-1.0, 1.0))
+        }
+        (_, other) => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_common::{Point, Region};
+
+    fn count_query(center: &[f64], extent: f64) -> AnalyticalQuery {
+        AnalyticalQuery::new(
+            Region::Range(
+                Rect::centered(&Point::new(center.to_vec()), &vec![extent; center.len()]).unwrap(),
+            ),
+            AggregateKind::Count,
+        )
+    }
+
+    /// Synthetic ground truth: density 3 records per unit volume.
+    fn count_truth(q: &AnalyticalQuery) -> AnswerValue {
+        AnswerValue::Scalar(3.0 * q.region.volume())
+    }
+
+    fn trained_agent() -> SeaAgent {
+        let mut agent = SeaAgent::new(2, AgentConfig::default()).unwrap();
+        for i in 0..100 {
+            let e = 1.0 + (i % 20) as f64 / 10.0;
+            let cx = 50.0 + (i % 5) as f64;
+            let q = count_query(&[cx, 50.0], e);
+            agent.train(&q, &count_truth(&q)).unwrap();
+        }
+        agent
+    }
+
+    #[test]
+    fn predicts_counts_in_trained_region() {
+        let agent = trained_agent();
+        let q = count_query(&[52.0, 50.0], 1.7);
+        let pred = agent.predict(&q).unwrap();
+        let truth = count_truth(&q).as_scalar().unwrap();
+        let rel = (pred.answer.as_scalar().unwrap() - truth).abs() / truth;
+        assert!(rel < 0.15, "rel error {rel}");
+        assert!(pred.estimated_error.is_finite());
+    }
+
+    #[test]
+    fn error_estimate_grows_away_from_training() {
+        let agent = trained_agent();
+        let near = agent.predict(&count_query(&[51.0, 50.0], 1.5)).unwrap();
+        let far = agent.predict(&count_query(&[500.0, 500.0], 1.5)).unwrap();
+        assert!(
+            far.estimated_error > near.estimated_error,
+            "near {} far {}",
+            near.estimated_error,
+            far.estimated_error
+        );
+    }
+
+    #[test]
+    fn unknown_operator_pool_is_empty_error() {
+        let agent = trained_agent();
+        let q = AnalyticalQuery::new(
+            count_query(&[50.0, 50.0], 1.0).region,
+            AggregateKind::Mean { dim: 0 },
+        );
+        assert!(matches!(agent.predict(&q), Err(SeaError::Empty(_))));
+    }
+
+    #[test]
+    fn separate_pools_per_operator() {
+        let mut agent = SeaAgent::new(2, AgentConfig::default()).unwrap();
+        let q = count_query(&[0.0, 0.0], 1.0);
+        agent.train(&q, &AnswerValue::Scalar(5.0)).unwrap();
+        let mean_q = AnalyticalQuery::new(q.region.clone(), AggregateKind::Mean { dim: 1 });
+        agent.train(&mean_q, &AnswerValue::Scalar(7.0)).unwrap();
+        assert_eq!(agent.stats().pools, 2);
+    }
+
+    #[test]
+    fn regression_queries_predict_pairs() {
+        let mut agent = SeaAgent::new(2, AgentConfig::default()).unwrap();
+        for i in 0..60 {
+            let e = 1.0 + (i % 10) as f64 / 5.0;
+            let q = AnalyticalQuery::new(
+                count_query(&[10.0, 10.0], e).region,
+                AggregateKind::Regression { x: 0, y: 1 },
+            );
+            // Constant true line regardless of window.
+            agent.train(&q, &AnswerValue::Pair(2.0, -1.0)).unwrap();
+        }
+        let probe = AnalyticalQuery::new(
+            count_query(&[10.0, 10.0], 1.5).region,
+            AggregateKind::Regression { x: 0, y: 1 },
+        );
+        let pred = agent.predict(&probe).unwrap();
+        let (s, i) = pred.answer.as_pair().unwrap();
+        assert!((s - 2.0).abs() < 0.1, "slope {s}");
+        assert!((i + 1.0).abs() < 0.1, "intercept {i}");
+    }
+
+    #[test]
+    fn mismatched_answer_shape_is_model_error() {
+        let mut agent = SeaAgent::new(2, AgentConfig::default()).unwrap();
+        let q = AnalyticalQuery::new(
+            count_query(&[0.0, 0.0], 1.0).region,
+            AggregateKind::Regression { x: 0, y: 1 },
+        );
+        assert!(matches!(
+            agent.train(&q, &AnswerValue::Scalar(1.0)),
+            Err(SeaError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn count_predictions_clamp_at_zero() {
+        let mut agent = SeaAgent::new(1, AgentConfig::default()).unwrap();
+        // Teach a steeply decreasing function so extrapolation goes negative.
+        for i in 0..30 {
+            let e = 1.0 + i as f64 / 30.0;
+            let q = count_query(&[0.0], e);
+            agent
+                .train(&q, &AnswerValue::Scalar(100.0 - 90.0 * (e - 1.0)))
+                .unwrap();
+        }
+        let extreme = count_query(&[0.0], 50.0);
+        let pred = agent.predict(&extreme).unwrap();
+        assert!(pred.answer.as_scalar().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn purge_stale_drops_abandoned_quanta() {
+        let mut agent = SeaAgent::new(2, AgentConfig::default()).unwrap();
+        for _ in 0..10 {
+            let q = count_query(&[0.0, 0.0], 1.0);
+            agent.train(&q, &AnswerValue::Scalar(5.0)).unwrap();
+        }
+        for _ in 0..100 {
+            let q = count_query(&[500.0, 500.0], 1.0);
+            agent.train(&q, &AnswerValue::Scalar(9.0)).unwrap();
+        }
+        assert_eq!(agent.stats().quanta, 2);
+        let purged = agent.purge_stale(50);
+        assert_eq!(purged, 1);
+        assert_eq!(agent.stats().quanta, 1);
+        // Remaining quantum still predicts the active region.
+        let pred = agent.predict(&count_query(&[500.0, 500.0], 1.0)).unwrap();
+        assert!((pred.answer.as_scalar().unwrap() - 9.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn invalidate_region_resets_overlapping_quanta() {
+        let mut agent = trained_agent();
+        let before = agent.predict(&count_query(&[52.0, 50.0], 1.5)).unwrap();
+        assert!(before.quantum_training > 0);
+        let reset = agent
+            .invalidate_region(&Rect::new(vec![40.0, 40.0], vec![60.0, 60.0]).unwrap())
+            .unwrap();
+        assert!(reset >= 1);
+        let after = agent.predict(&count_query(&[52.0, 50.0], 1.5));
+        // Quantum exists but has no pairs → Empty, or training reset to 0.
+        match after {
+            Err(SeaError::Empty(_)) => {}
+            Ok(p) => assert_eq!(p.quantum_training, 0),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_elsewhere_keeps_models() {
+        let mut agent = trained_agent();
+        let reset = agent
+            .invalidate_region(&Rect::new(vec![900.0, 900.0], vec![910.0, 910.0]).unwrap())
+            .unwrap();
+        assert_eq!(reset, 0);
+        assert!(agent.predict(&count_query(&[52.0, 50.0], 1.5)).is_ok());
+    }
+
+    #[test]
+    fn memory_is_bounded_by_pair_cap() {
+        let mut agent = SeaAgent::new(
+            2,
+            AgentConfig {
+                max_pairs_per_quantum: 10,
+                ..AgentConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..1000 {
+            let q = count_query(&[0.0, 0.0], 1.0 + (i % 7) as f64 * 0.01);
+            agent.train(&q, &AnswerValue::Scalar(5.0)).unwrap();
+        }
+        let stats = agent.stats();
+        assert_eq!(stats.training_queries, 1000);
+        assert!(
+            stats.memory_bytes < 10_000,
+            "memory stays bounded: {}",
+            stats.memory_bytes
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SeaAgent::new(0, AgentConfig::default()).is_err());
+        assert!(SeaAgent::new(
+            2,
+            AgentConfig {
+                knn_k: 0,
+                ..AgentConfig::default()
+            }
+        )
+        .is_err());
+        assert!(SeaAgent::new(
+            2,
+            AgentConfig {
+                forget: 0.0,
+                ..AgentConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn radius_queries_form_their_own_geometry() {
+        // The agent serves radius selections through the same embedding;
+        // a radius workload trains and predicts like a range workload.
+        use sea_common::{Ball, Region};
+        let mut agent = SeaAgent::new(2, AgentConfig::default()).unwrap();
+        for i in 0..80 {
+            let r = 2.0 + (i % 16) as f64 * 0.25;
+            let q = AnalyticalQuery::new(
+                Region::Radius(Ball::new(Point::new(vec![40.0, 40.0]), r).unwrap()),
+                AggregateKind::Count,
+            );
+            // Density 3 per unit area: count = 3·πr².
+            let truth = AnswerValue::Scalar(3.0 * std::f64::consts::PI * r * r);
+            agent.train(&q, &truth).unwrap();
+        }
+        let probe = AnalyticalQuery::new(
+            Region::Radius(Ball::new(Point::new(vec![40.0, 40.0]), 3.3).unwrap()),
+            AggregateKind::Count,
+        );
+        let pred = agent.predict(&probe).unwrap();
+        let truth = 3.0 * std::f64::consts::PI * 3.3 * 3.3;
+        let rel = (pred.answer.as_scalar().unwrap() - truth).abs() / truth;
+        assert!(rel < 0.1, "radius workload rel err {rel}");
+    }
+
+    #[test]
+    fn distinct_quantile_levels_use_distinct_pools() {
+        let mut agent = SeaAgent::new(1, AgentConfig::default()).unwrap();
+        let region = count_query(&[0.0], 1.0).region;
+        let q25 = AnalyticalQuery::new(region.clone(), AggregateKind::Quantile { dim: 0, q: 0.25 });
+        let q75 = AnalyticalQuery::new(region.clone(), AggregateKind::Quantile { dim: 0, q: 0.75 });
+        agent.train(&q25, &AnswerValue::Scalar(10.0)).unwrap();
+        agent.train(&q75, &AnswerValue::Scalar(90.0)).unwrap();
+        assert_eq!(agent.stats().pools, 2, "different q = different pool");
+    }
+
+    #[test]
+    fn subset_for_region_preserves_local_predictions() {
+        let mut agent = SeaAgent::new(2, AgentConfig::default()).unwrap();
+        // Two separated hotspots with different densities.
+        for i in 0..120 {
+            let e = 1.0 + (i % 12) as f64 / 6.0;
+            let qa = count_query(&[20.0, 20.0], e);
+            agent
+                .train(&qa, &AnswerValue::Scalar(2.0 * qa.region.volume()))
+                .unwrap();
+            let qb = count_query(&[80.0, 80.0], e);
+            agent
+                .train(&qb, &AnswerValue::Scalar(9.0 * qb.region.volume()))
+                .unwrap();
+        }
+        let region = Rect::new(vec![10.0, 10.0], vec![30.0, 30.0]).unwrap();
+        let subset = agent.subset_for_region(&region).unwrap();
+        assert!(subset.stats().quanta < agent.stats().quanta);
+        assert!(subset.stats().memory_bytes < agent.stats().memory_bytes);
+        // Inside the region: identical predictions.
+        let probe = count_query(&[20.0, 20.0], 1.5);
+        let a = agent.predict(&probe).unwrap();
+        let b = subset.predict(&probe).unwrap();
+        assert_eq!(a.answer, b.answer);
+        // Outside: the subset honestly reports high error (or no pool).
+        let far = count_query(&[80.0, 80.0], 1.5);
+        match subset.predict(&far) {
+            Ok(p) => assert!(p.estimated_error > agent.predict(&far).unwrap().estimated_error),
+            Err(SeaError::Empty(_)) => {}
+            Err(e) => panic!("unexpected {e}"),
+        }
+        // Shipping the subset costs fewer bytes.
+        assert!(subset.to_json().unwrap().len() < agent.to_json().unwrap().len());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let agent = trained_agent();
+        let json = agent.to_json().unwrap();
+        assert!(
+            json.len() > 500,
+            "non-trivial payload: {} bytes",
+            json.len()
+        );
+        let back = SeaAgent::from_json(&json).unwrap();
+        for e in [1.2, 1.8, 2.4] {
+            let q = count_query(&[52.0, 50.0], e);
+            let a = agent.predict(&q).unwrap();
+            let b = back.predict(&q).unwrap();
+            assert_eq!(a.answer, b.answer);
+            assert!((a.estimated_error - b.estimated_error).abs() < 1e-12);
+        }
+        assert_eq!(agent.stats().quanta, back.stats().quanta);
+        assert!(SeaAgent::from_json("{broken").is_err());
+    }
+
+    #[test]
+    fn quantum_weights_expose_linear_explanation() {
+        let agent = trained_agent();
+        let q = count_query(&[52.0, 50.0], 1.5);
+        let (weights, _) = agent.quantum_weights(&q).unwrap();
+        assert_eq!(weights.len(), 5, "[cx, cy, ex, ey, volume]");
+        // Count grows with volume → the volume weight should carry most of
+        // the signal and be positive... combined with extents.
+        let pairs = agent.quantum_pairs(&q);
+        assert!(!pairs.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! The agent-in-front-of-the-system processing loop (Fig 2).
+//!
+//! Queries are submitted to the pipeline exactly as they would be to the
+//! BDAS. The first queries are *training queries*: they execute exactly and
+//! their answers train the agent. Once a query's quantum is confident (its
+//! estimated error falls below the caller's threshold), the pipeline
+//! answers from the model — "all future queries need not access any base
+//! data" — while still falling back to exact execution whenever the error
+//! estimate is too high (RT1-3).
+
+use sea_common::{AnalyticalQuery, AnswerValue, CostReport, Result};
+use sea_query::Executor;
+
+use crate::agent::{AgentConfig, SeaAgent};
+
+/// Which exact-execution regime the pipeline falls back to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// MapReduce-style over all nodes through the full BDAS stack.
+    Bdas,
+    /// Coordinator–cohort with partition/block pruning.
+    Direct,
+}
+
+/// Where an answer came from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnswerSource {
+    /// Served by the agent without touching base data.
+    Predicted {
+        /// The agent's error estimate at prediction time.
+        estimated_error: f64,
+    },
+    /// Executed exactly against the base data (and used for training).
+    Exact,
+}
+
+/// The outcome of one query through the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessOutcome {
+    /// The answer returned to the analyst.
+    pub answer: AnswerValue,
+    /// Resource bill (zero for predictions).
+    pub cost: CostReport,
+    /// Provenance of the answer.
+    pub source: AnswerSource,
+}
+
+/// An agent bound to a table with an error-threshold policy.
+#[derive(Debug)]
+pub struct AgentPipeline {
+    agent: SeaAgent,
+    table: String,
+    /// Predictions with estimated relative error above this threshold fall
+    /// back to exact execution.
+    error_threshold: f64,
+    mode: ExecMode,
+    /// Every `refresh_every`-th would-be prediction is executed exactly
+    /// anyway and used for training — the model-error-maintenance audit
+    /// (RT1-4/RT5-5) that keeps residual estimates honest and lets models
+    /// keep improving after the training phase. 0 disables audits.
+    refresh_every: u64,
+    predictions_since_audit: u64,
+}
+
+impl AgentPipeline {
+    /// Creates a pipeline over `table` with the given error threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates agent-construction errors.
+    pub fn new(
+        dims: usize,
+        config: AgentConfig,
+        table: impl Into<String>,
+        error_threshold: f64,
+        mode: ExecMode,
+    ) -> Result<Self> {
+        Ok(AgentPipeline {
+            agent: SeaAgent::new(dims, config)?,
+            table: table.into(),
+            error_threshold,
+            mode,
+            refresh_every: 8,
+            predictions_since_audit: 0,
+        })
+    }
+
+    /// Sets the audit period: every `n`-th would-be prediction executes
+    /// exactly and trains the agent (0 disables audits entirely).
+    #[must_use]
+    pub fn with_refresh_every(mut self, n: u64) -> Self {
+        self.refresh_every = n;
+        self
+    }
+
+    /// The inner agent.
+    pub fn agent(&self) -> &SeaAgent {
+        &self.agent
+    }
+
+    /// Mutable access to the inner agent (e.g. for maintenance calls).
+    pub fn agent_mut(&mut self) -> &mut SeaAgent {
+        &mut self.agent
+    }
+
+    /// The error threshold.
+    pub fn error_threshold(&self) -> f64 {
+        self.error_threshold
+    }
+
+    /// Processes one query: predict if confident, otherwise execute
+    /// exactly and learn from the answer.
+    ///
+    /// # Errors
+    ///
+    /// Exact-execution errors (missing table, operators undefined on empty
+    /// subspaces, …). Queries whose exact execution fails do not train the
+    /// agent.
+    pub fn process(
+        &mut self,
+        executor: &Executor<'_>,
+        query: &AnalyticalQuery,
+    ) -> Result<ProcessOutcome> {
+        if let Ok(pred) = self.agent.predict(query) {
+            let audit_due =
+                self.refresh_every > 0 && self.predictions_since_audit + 1 >= self.refresh_every;
+            if pred.estimated_error <= self.error_threshold && !audit_due {
+                self.predictions_since_audit += 1;
+                return Ok(ProcessOutcome {
+                    answer: pred.answer,
+                    cost: CostReport::zero(),
+                    source: AnswerSource::Predicted {
+                        estimated_error: pred.estimated_error,
+                    },
+                });
+            }
+        }
+        self.predictions_since_audit = 0;
+        let outcome = match self.mode {
+            ExecMode::Bdas => executor.execute_bdas(&self.table, query)?,
+            ExecMode::Direct => executor.execute_direct(&self.table, query)?,
+        };
+        self.agent.train(query, &outcome.answer)?;
+        Ok(ProcessOutcome {
+            answer: outcome.answer,
+            cost: outcome.cost,
+            source: AnswerSource::Exact,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_common::{AggregateKind, Point, Record, Rect, Region};
+    use sea_storage::{Partitioning, StorageCluster};
+
+    fn cluster() -> StorageCluster {
+        let mut c = StorageCluster::new(4, 64);
+        // Uniform-ish lattice: density 1 per unit².
+        let records: Vec<Record> = (0..10_000)
+            .map(|i| Record::new(i, vec![(i % 100) as f64, (i / 100) as f64]))
+            .collect();
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        c
+    }
+
+    fn query(cx: f64, cy: f64, e: f64) -> AnalyticalQuery {
+        AnalyticalQuery::new(
+            Region::Range(Rect::centered(&Point::new(vec![cx, cy]), &[e, e]).unwrap()),
+            AggregateKind::Count,
+        )
+    }
+
+    #[test]
+    fn pipeline_transitions_from_exact_to_predicted() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let mut pipe =
+            AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct).unwrap();
+
+        let mut exact = 0;
+        let mut predicted = 0;
+        for i in 0..200 {
+            let e = 3.0 + (i % 20) as f64 * 0.3;
+            let q = query(50.0 + (i % 3) as f64, 50.0, e);
+            let out = pipe.process(&exec, &q).unwrap();
+            match out.source {
+                AnswerSource::Exact => exact += 1,
+                AnswerSource::Predicted { .. } => {
+                    predicted += 1;
+                    assert_eq!(out.cost, CostReport::zero());
+                }
+            }
+        }
+        assert!(
+            predicted > 100,
+            "mostly predicted after warmup: {predicted}"
+        );
+        assert!(exact >= 8, "training phase happened: {exact}");
+    }
+
+    #[test]
+    fn predictions_are_accurate_after_training() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let mut pipe =
+            AgentPipeline::new(2, AgentConfig::default(), "t", 0.2, ExecMode::Direct).unwrap();
+        for i in 0..200 {
+            let e = 3.0 + (i % 20) as f64 * 0.3;
+            pipe.process(&exec, &query(50.0, 50.0, e)).unwrap();
+        }
+        // Probe with fresh queries and compare against ground truth.
+        let mut total_rel = 0.0;
+        let mut n = 0;
+        for i in 0..20 {
+            let e = 3.1 + i as f64 * 0.25;
+            let q = query(50.0, 50.0, e);
+            let out = pipe.process(&exec, &q).unwrap();
+            let truth = exec.execute_direct("t", &q).unwrap().answer;
+            total_rel += out.answer.relative_error(&truth);
+            n += 1;
+        }
+        let mean_rel = total_rel / n as f64;
+        assert!(mean_rel < 0.2, "mean relative error {mean_rel}");
+    }
+
+    #[test]
+    fn zero_threshold_never_predicts() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let mut pipe =
+            AgentPipeline::new(2, AgentConfig::default(), "t", 0.0, ExecMode::Bdas).unwrap();
+        for i in 0..30 {
+            let out = pipe
+                .process(&exec, &query(50.0, 50.0, 3.0 + (i % 5) as f64 * 0.2))
+                .unwrap();
+            assert_eq!(out.source, AnswerSource::Exact);
+            assert!(out.cost.wall_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn missing_table_propagates() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let mut pipe =
+            AgentPipeline::new(2, AgentConfig::default(), "nope", 0.1, ExecMode::Direct).unwrap();
+        assert!(pipe.process(&exec, &query(0.0, 0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn novel_region_falls_back_to_exact() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let mut pipe =
+            AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct).unwrap();
+        for i in 0..100 {
+            pipe.process(&exec, &query(30.0, 30.0, 3.0 + (i % 10) as f64 * 0.2))
+                .unwrap();
+        }
+        // A query in a completely different region: the distance penalty
+        // must push it back to exact execution.
+        let out = pipe.process(&exec, &query(90.0, 90.0, 3.0)).unwrap();
+        assert_eq!(out.source, AnswerSource::Exact);
+    }
+}

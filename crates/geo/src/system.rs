@@ -1,0 +1,751 @@
+//! The edge/core geo-distributed system.
+
+use sea_common::{AnalyticalQuery, AnswerValue, CostModel, CostReport, Rect, Result, SeaError};
+use sea_core::agent::{AgentConfig, SeaAgent};
+use sea_query::Executor;
+use sea_storage::StorageCluster;
+
+/// Configuration of the geo-distributed deployment.
+#[derive(Debug, Clone)]
+pub struct GeoConfig {
+    /// The edge agents' configuration.
+    pub agent: AgentConfig,
+    /// Predictions with estimated error above this threshold are escalated
+    /// to the core.
+    pub error_threshold: f64,
+    /// Number of edge nodes.
+    pub edges: usize,
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        GeoConfig {
+            agent: AgentConfig::default(),
+            error_threshold: 0.15,
+            edges: 4,
+        }
+    }
+}
+
+/// Where an answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeoSource {
+    /// Answered by the edge's local model — no WAN traffic.
+    EdgeModel,
+    /// Answered by a sibling edge's model (one inter-edge hop; RT5-4).
+    SiblingEdge {
+        /// The edge whose model produced the answer.
+        edge: usize,
+    },
+    /// Escalated to the core for exact execution.
+    CoreExact,
+}
+
+/// The outcome of one geo-distributed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoOutcome {
+    /// The answer returned to the analyst.
+    pub answer: AnswerValue,
+    /// End-to-end simulated response time in microseconds.
+    pub response_us: f64,
+    /// WAN bytes this query moved.
+    pub wan_bytes: u64,
+    /// Provenance.
+    pub source: GeoSource,
+}
+
+/// Aggregate statistics of a deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoStats {
+    /// Queries submitted in total.
+    pub queries: u64,
+    /// Queries answered at an edge.
+    pub edge_answered: u64,
+    /// Queries escalated to the core.
+    pub core_answered: u64,
+    /// Total WAN bytes moved.
+    pub wan_bytes: u64,
+    /// Total WAN messages.
+    pub wan_msgs: u64,
+    /// Sum of response times (µs) — divide by `queries` for the mean.
+    pub total_response_us: f64,
+}
+
+impl GeoStats {
+    /// Fraction of queries escalated to the core.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.core_answered as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean response time in microseconds.
+    pub fn mean_response_us(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_response_us / self.queries as f64
+        }
+    }
+}
+
+struct EdgeNode {
+    agent: SeaAgent,
+}
+
+/// The geo-distributed SEA deployment of Fig 3.
+pub struct GeoSystem<'a> {
+    executor: Executor<'a>,
+    table: String,
+    edges: Vec<EdgeNode>,
+    master: SeaAgent,
+    config: GeoConfig,
+    cost_model: CostModel,
+    stats: GeoStats,
+}
+
+impl<'a> GeoSystem<'a> {
+    /// Creates a deployment over `cluster`/`table` with `config.edges`
+    /// edge nodes.
+    ///
+    /// # Errors
+    ///
+    /// Missing table, zero edges, or invalid agent configuration.
+    pub fn new(cluster: &'a StorageCluster, table: &str, config: GeoConfig) -> Result<Self> {
+        if config.edges == 0 {
+            return Err(SeaError::invalid("need at least one edge node"));
+        }
+        let dims = cluster.dims(table)?;
+        let mut edges = Vec::with_capacity(config.edges);
+        for _ in 0..config.edges {
+            edges.push(EdgeNode {
+                agent: SeaAgent::new(dims, config.agent.clone())?,
+            });
+        }
+        Ok(GeoSystem {
+            executor: Executor::new(cluster),
+            table: table.to_string(),
+            edges,
+            master: SeaAgent::new(dims, config.agent.clone())?,
+            config,
+            cost_model: CostModel::default(),
+            stats: GeoStats {
+                queries: 0,
+                edge_answered: 0,
+                core_answered: 0,
+                wan_bytes: 0,
+                wan_msgs: 0,
+                total_response_us: 0.0,
+            },
+        })
+    }
+
+    /// Number of edge nodes.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Deployment statistics so far.
+    pub fn stats(&self) -> &GeoStats {
+        &self.stats
+    }
+
+    /// The master agent's state (for inspection).
+    pub fn master_stats(&self) -> sea_core::agent::AgentStats {
+        self.master.stats()
+    }
+
+    /// A specific edge's agent (for inspection).
+    ///
+    /// # Errors
+    ///
+    /// Unknown edge.
+    pub fn edge_agent(&self, edge: usize) -> Result<&SeaAgent> {
+        self.edges
+            .get(edge)
+            .map(|e| &e.agent)
+            .ok_or_else(|| SeaError::NotFound(format!("edge {edge}")))
+    }
+
+    /// Submits an analyst query at edge `edge`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown edge, or exact-execution errors when escalated.
+    pub fn submit(&mut self, edge: usize, query: &AnalyticalQuery) -> Result<GeoOutcome> {
+        let threshold = self.config.error_threshold;
+        let edge_node = self
+            .edges
+            .get_mut(edge)
+            .ok_or_else(|| SeaError::NotFound(format!("edge {edge}")))?;
+
+        // Local attempt: a model prediction costs ~0.1 ms of edge compute.
+        const EDGE_PREDICT_US: f64 = 100.0;
+        if let Ok(pred) = edge_node.agent.predict(query) {
+            if pred.estimated_error <= threshold {
+                self.stats.queries += 1;
+                self.stats.edge_answered += 1;
+                self.stats.total_response_us += EDGE_PREDICT_US;
+                return Ok(GeoOutcome {
+                    answer: pred.answer,
+                    response_us: EDGE_PREDICT_US,
+                    wan_bytes: 0,
+                    source: GeoSource::EdgeModel,
+                });
+            }
+        }
+
+        // Escalate: WAN round trip (request + response) plus core execution.
+        let query_bytes = 16 * query.region.dims() as u64 + 32;
+        let answer_bytes = 24u64;
+        let core = self.executor.execute_direct(&self.table, query)?;
+        let wan_bytes = query_bytes + answer_bytes;
+        let wan_us =
+            2.0 * self.cost_model.wan_msg_us + wan_bytes as f64 * self.cost_model.wan_byte_us;
+        let response_us = EDGE_PREDICT_US + wan_us + core.cost.wall_us;
+
+        // The exact answer trains both the edge and the master.
+        edge_node.agent.train(query, &core.answer)?;
+        self.master.train(query, &core.answer)?;
+
+        self.stats.queries += 1;
+        self.stats.core_answered += 1;
+        self.stats.wan_bytes += wan_bytes;
+        self.stats.wan_msgs += 2;
+        self.stats.total_response_us += response_us;
+        Ok(GeoOutcome {
+            answer: core.answer,
+            response_us,
+            wan_bytes,
+            source: GeoSource::CoreExact,
+        })
+    }
+
+    /// Routed submission (RT5-4): try the local edge, then poll sibling
+    /// edges (one inter-edge WAN hop each, at half the core round-trip
+    /// latency — regional peering), and only then escalate to the core.
+    /// A sibling's confident answer avoids the expensive core path
+    /// entirely; this is how overlapping interests across edges pay off
+    /// before any explicit model sync.
+    ///
+    /// # Errors
+    ///
+    /// Unknown edge, or exact-execution errors when escalated.
+    pub fn submit_routed(&mut self, edge: usize, query: &AnalyticalQuery) -> Result<GeoOutcome> {
+        let threshold = self.config.error_threshold;
+        if edge >= self.edges.len() {
+            return Err(SeaError::NotFound(format!("edge {edge}")));
+        }
+        const EDGE_PREDICT_US: f64 = 100.0;
+        // 1. Local model.
+        if let Ok(pred) = self.edges[edge].agent.predict(query) {
+            if pred.estimated_error <= threshold {
+                self.stats.queries += 1;
+                self.stats.edge_answered += 1;
+                self.stats.total_response_us += EDGE_PREDICT_US;
+                return Ok(GeoOutcome {
+                    answer: pred.answer,
+                    response_us: EDGE_PREDICT_US,
+                    wan_bytes: 0,
+                    source: GeoSource::EdgeModel,
+                });
+            }
+        }
+        // 2. Sibling edges, nearest-neighbour style: one query+answer hop
+        // per polled sibling; stop at the first confident one.
+        let query_bytes = 16 * query.region.dims() as u64 + 32;
+        let answer_bytes = 24u64;
+        let mut polled = 0u64;
+        for sibling in 0..self.edges.len() {
+            if sibling == edge {
+                continue;
+            }
+            polled += 1;
+            if let Ok(pred) = self.edges[sibling].agent.predict(query) {
+                if pred.estimated_error <= threshold {
+                    let hop_bytes = polled * (query_bytes + answer_bytes);
+                    let hop_us = polled as f64
+                        * (self.cost_model.wan_msg_us
+                            + (query_bytes + answer_bytes) as f64 * self.cost_model.wan_byte_us);
+                    let response_us = EDGE_PREDICT_US + hop_us;
+                    self.stats.queries += 1;
+                    self.stats.edge_answered += 1;
+                    self.stats.wan_bytes += hop_bytes;
+                    self.stats.wan_msgs += 2 * polled;
+                    self.stats.total_response_us += response_us;
+                    return Ok(GeoOutcome {
+                        answer: pred.answer,
+                        response_us,
+                        wan_bytes: hop_bytes,
+                        source: GeoSource::SiblingEdge { edge: sibling },
+                    });
+                }
+            }
+        }
+        // 3. Core, accounting for the sibling polls that failed.
+        let wasted_bytes = polled * (query_bytes + answer_bytes);
+        let wasted_us = polled as f64
+            * (self.cost_model.wan_msg_us
+                + (query_bytes + answer_bytes) as f64 * self.cost_model.wan_byte_us);
+        let mut out = self.submit(edge, query)?;
+        out.response_us += wasted_us;
+        out.wan_bytes += wasted_bytes;
+        self.stats.wan_bytes += wasted_bytes;
+        self.stats.wan_msgs += 2 * polled;
+        self.stats.total_response_us += wasted_us;
+        Ok(out)
+    }
+
+    /// Baseline submission: always escalate to the core (Fig 1 shipped to
+    /// a WAN world). Does not train any model.
+    ///
+    /// # Errors
+    ///
+    /// Exact-execution errors.
+    pub fn submit_all_to_core(&mut self, query: &AnalyticalQuery) -> Result<GeoOutcome> {
+        let query_bytes = 16 * query.region.dims() as u64 + 32;
+        let answer_bytes = 24u64;
+        let core = self.executor.execute_direct(&self.table, query)?;
+        let wan_bytes = query_bytes + answer_bytes;
+        let wan_us =
+            2.0 * self.cost_model.wan_msg_us + wan_bytes as f64 * self.cost_model.wan_byte_us;
+        let response_us = wan_us + core.cost.wall_us;
+        self.stats.queries += 1;
+        self.stats.core_answered += 1;
+        self.stats.wan_bytes += wan_bytes;
+        self.stats.wan_msgs += 2;
+        self.stats.total_response_us += response_us;
+        Ok(GeoOutcome {
+            answer: core.answer,
+            response_us,
+            wan_bytes,
+            source: GeoSource::CoreExact,
+        })
+    }
+
+    /// Ships the master agent's models to edge `edge` (distributed model
+    /// building, RT5-2): the edge replaces its agent with a copy of the
+    /// master, paying the model size in WAN bytes. Returns the bytes
+    /// shipped.
+    ///
+    /// # Errors
+    ///
+    /// Unknown edge.
+    pub fn sync_edge(&mut self, edge: usize) -> Result<u64> {
+        if edge >= self.edges.len() {
+            return Err(SeaError::NotFound(format!("edge {edge}")));
+        }
+        // Ship the real serialized model state: the JSON length is the
+        // honest WAN bill, and the edge reconstructs its agent from it.
+        let payload = self.master.to_json()?;
+        let bytes = payload.len() as u64;
+        self.edges[edge].agent = SeaAgent::from_json(&payload)?;
+        self.stats.wan_bytes += bytes;
+        self.stats.wan_msgs += 1;
+        Ok(bytes)
+    }
+
+    /// Selective model placement (RT5-3): ships to `edge` only the
+    /// master's quanta whose interest regions intersect `region` — the
+    /// subspaces that edge's analysts actually query. Costs proportionally
+    /// fewer WAN bytes than a full [`GeoSystem::sync_edge`]. Returns the
+    /// bytes shipped.
+    ///
+    /// # Errors
+    ///
+    /// Unknown edge or dimension mismatch.
+    pub fn sync_edge_region(&mut self, edge: usize, region: &Rect) -> Result<u64> {
+        if edge >= self.edges.len() {
+            return Err(SeaError::NotFound(format!("edge {edge}")));
+        }
+        let subset = self.master.subset_for_region(region)?;
+        let payload = subset.to_json()?;
+        let bytes = payload.len() as u64;
+        self.edges[edge].agent = SeaAgent::from_json(&payload)?;
+        self.stats.wan_bytes += bytes;
+        self.stats.wan_msgs += 1;
+        Ok(bytes)
+    }
+
+    /// Resets the statistics counters (e.g. between experiment phases),
+    /// keeping all trained models.
+    pub fn reset_stats(&mut self) {
+        self.stats = GeoStats {
+            queries: 0,
+            edge_answered: 0,
+            core_answered: 0,
+            wan_bytes: 0,
+            wan_msgs: 0,
+            total_response_us: 0.0,
+        };
+    }
+
+    /// Purges stale quanta on every edge and the master (RT5-3).
+    pub fn purge_stale(&mut self, max_age: u64) -> usize {
+        let mut purged = self.master.purge_stale(max_age);
+        for e in &mut self.edges {
+            purged += e.agent.purge_stale(max_age);
+        }
+        purged
+    }
+}
+
+/// Convenience: the simulated cost of answering one exact query at the
+/// core, for baseline comparisons.
+pub fn core_exact_cost(
+    cluster: &StorageCluster,
+    table: &str,
+    query: &AnalyticalQuery,
+) -> Result<CostReport> {
+    Ok(Executor::new(cluster).execute_direct(table, query)?.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_common::{AggregateKind, Point, Record, Rect, Region};
+    use sea_storage::Partitioning;
+
+    fn cluster() -> StorageCluster {
+        let mut c = StorageCluster::new(4, 256);
+        let records: Vec<Record> = (0..10_000)
+            .map(|i| Record::new(i, vec![(i % 100) as f64, (i / 100) as f64]))
+            .collect();
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        c
+    }
+
+    fn query(cx: f64, e: f64) -> AnalyticalQuery {
+        AnalyticalQuery::new(
+            Region::Range(Rect::centered(&Point::new(vec![cx, 50.0]), &[e, e]).unwrap()),
+            AggregateKind::Count,
+        )
+    }
+
+    #[test]
+    fn edges_learn_to_filter_queries() {
+        let c = cluster();
+        let mut geo = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+        for i in 0..200 {
+            let e = 3.0 + (i % 20) as f64 * 0.3;
+            geo.submit(0, &query(50.0, e)).unwrap();
+        }
+        let stats = geo.stats();
+        assert_eq!(stats.queries, 200);
+        assert!(
+            stats.fallback_rate() < 0.4,
+            "most queries served at the edge: {}",
+            stats.fallback_rate()
+        );
+        assert!(stats.edge_answered > 100);
+    }
+
+    #[test]
+    fn edge_deployment_slashes_wan_traffic_and_latency() {
+        let c = cluster();
+        let mut with_edges = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+        let mut baseline = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+        for i in 0..200 {
+            let e = 3.0 + (i % 20) as f64 * 0.3;
+            with_edges.submit(0, &query(50.0, e)).unwrap();
+            baseline.submit_all_to_core(&query(50.0, e)).unwrap();
+        }
+        let a = with_edges.stats();
+        let b = baseline.stats();
+        assert!(
+            a.wan_bytes * 2 < b.wan_bytes,
+            "edge agents halve WAN bytes at least: {} vs {}",
+            a.wan_bytes,
+            b.wan_bytes
+        );
+        assert!(
+            a.mean_response_us() < b.mean_response_us() / 2.0,
+            "latency drops: {} vs {}",
+            a.mean_response_us(),
+            b.mean_response_us()
+        );
+    }
+
+    #[test]
+    fn lower_threshold_means_more_fallbacks() {
+        let c = cluster();
+        let strict = GeoConfig {
+            error_threshold: 0.01,
+            ..GeoConfig::default()
+        };
+        let lax = GeoConfig {
+            error_threshold: 0.3,
+            ..GeoConfig::default()
+        };
+        let mut s = GeoSystem::new(&c, "t", strict).unwrap();
+        let mut l = GeoSystem::new(&c, "t", lax).unwrap();
+        for i in 0..150 {
+            let e = 3.0 + (i % 20) as f64 * 0.3;
+            s.submit(0, &query(50.0, e)).unwrap();
+            l.submit(0, &query(50.0, e)).unwrap();
+        }
+        assert!(
+            s.stats().fallback_rate() > l.stats().fallback_rate(),
+            "strict {} vs lax {}",
+            s.stats().fallback_rate(),
+            l.stats().fallback_rate()
+        );
+    }
+
+    #[test]
+    fn model_sync_bootstraps_fresh_edges() {
+        let c = cluster();
+        let mut geo = GeoSystem::new(
+            &c,
+            "t",
+            GeoConfig {
+                edges: 2,
+                ..GeoConfig::default()
+            },
+        )
+        .unwrap();
+        // Edge 0 trains the master through its fallbacks.
+        for i in 0..150 {
+            let e = 3.0 + (i % 20) as f64 * 0.3;
+            geo.submit(0, &query(50.0, e)).unwrap();
+        }
+        // Edge 1, WITHOUT sync, would fall back on its first queries.
+        geo.reset_stats();
+        let bytes = geo.sync_edge(1).unwrap();
+        assert!(bytes > 0, "model shipping costs WAN bytes");
+        let mut edge_hits = 0;
+        for i in 0..40 {
+            let e = 3.0 + (i % 20) as f64 * 0.3;
+            let out = geo.submit(1, &query(50.0, e)).unwrap();
+            if out.source == GeoSource::EdgeModel {
+                edge_hits += 1;
+            }
+        }
+        assert!(
+            edge_hits > 30,
+            "synced edge answers locally straight away: {edge_hits}"
+        );
+    }
+
+    #[test]
+    fn answers_are_accurate() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let mut geo = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+        for i in 0..200 {
+            let e = 3.0 + (i % 20) as f64 * 0.3;
+            geo.submit(0, &query(50.0, e)).unwrap();
+        }
+        let mut total_rel = 0.0;
+        let mut n = 0;
+        for i in 0..20 {
+            let e = 3.1 + i as f64 * 0.25;
+            let q = query(50.0, e);
+            let out = geo.submit(0, &q).unwrap();
+            let truth = exec.execute_direct("t", &q).unwrap().answer;
+            total_rel += out.answer.relative_error(&truth);
+            n += 1;
+        }
+        let mean_rel = total_rel / n as f64;
+        assert!(mean_rel < 0.25, "mean rel err {mean_rel}");
+    }
+
+    #[test]
+    fn validations() {
+        let c = cluster();
+        assert!(GeoSystem::new(
+            &c,
+            "t",
+            GeoConfig {
+                edges: 0,
+                ..GeoConfig::default()
+            }
+        )
+        .is_err());
+        assert!(GeoSystem::new(&c, "missing", GeoConfig::default()).is_err());
+        let mut geo = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+        assert!(geo.submit(99, &query(50.0, 1.0)).is_err());
+        assert!(geo.sync_edge(99).is_err());
+        assert!(geo.edge_agent(0).is_ok());
+        assert_eq!(geo.num_edges(), 4);
+    }
+
+    #[test]
+    fn purge_stale_runs_across_edges() {
+        let c = cluster();
+        let mut geo = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+        for _ in 0..20 {
+            geo.submit(0, &query(20.0, 2.0)).unwrap();
+        }
+        for _ in 0..200 {
+            geo.submit(0, &query(80.0, 2.0)).unwrap();
+        }
+        let purged = geo.purge_stale(5);
+        assert!(purged >= 1, "abandoned subspace purged: {purged}");
+    }
+}
+
+#[cfg(test)]
+mod routing_tests {
+    use super::*;
+    use sea_common::{AggregateKind, Point, Record, Rect, Region};
+    use sea_storage::Partitioning;
+
+    fn cluster() -> StorageCluster {
+        let mut c = StorageCluster::new(4, 256);
+        let records: Vec<Record> = (0..10_000)
+            .map(|i| Record::new(i, vec![(i % 100) as f64, (i / 100) as f64]))
+            .collect();
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        c
+    }
+
+    fn query(e: f64) -> AnalyticalQuery {
+        AnalyticalQuery::new(
+            Region::Range(Rect::centered(&Point::new(vec![50.0, 50.0]), &[e, e]).unwrap()),
+            AggregateKind::Count,
+        )
+    }
+
+    #[test]
+    fn sibling_routing_avoids_the_core() {
+        let c = cluster();
+        let mut geo = GeoSystem::new(
+            &c,
+            "t",
+            GeoConfig {
+                edges: 3,
+                ..GeoConfig::default()
+            },
+        )
+        .unwrap();
+        // Edge 0 learns the hotspot.
+        for i in 0..150 {
+            geo.submit(0, &query(3.0 + (i % 20) as f64 * 0.3)).unwrap();
+        }
+        geo.reset_stats();
+        // Edge 1, untrained, routes through siblings.
+        let mut sibling_hits = 0;
+        let mut core_hits = 0;
+        for i in 0..40 {
+            let out = geo
+                .submit_routed(1, &query(3.0 + (i % 20) as f64 * 0.3))
+                .unwrap();
+            match out.source {
+                GeoSource::SiblingEdge { edge } => {
+                    assert_eq!(edge, 0, "edge 0 holds the models");
+                    sibling_hits += 1;
+                }
+                GeoSource::CoreExact => core_hits += 1,
+                GeoSource::EdgeModel => {}
+            }
+        }
+        assert!(sibling_hits > 30, "siblings answered: {sibling_hits}");
+        assert!(core_hits < 5, "core mostly avoided: {core_hits}");
+    }
+
+    #[test]
+    fn sibling_answer_is_cheaper_than_core() {
+        let c = cluster();
+        let mut geo = GeoSystem::new(
+            &c,
+            "t",
+            GeoConfig {
+                edges: 2,
+                ..GeoConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..150 {
+            geo.submit(0, &query(3.0 + (i % 20) as f64 * 0.3)).unwrap();
+        }
+        let routed = geo.submit_routed(1, &query(4.2)).unwrap();
+        let mut baseline = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+        let core = baseline.submit_all_to_core(&query(4.2)).unwrap();
+        if let GeoSource::SiblingEdge { .. } = routed.source {
+            assert!(
+                routed.response_us < core.response_us,
+                "sibling {} vs core {}",
+                routed.response_us,
+                core.response_us
+            );
+        } else {
+            panic!("expected a sibling answer, got {:?}", routed.source);
+        }
+    }
+
+    #[test]
+    fn selective_sync_ships_less_and_still_serves_the_region() {
+        let c = cluster();
+        let mut geo = GeoSystem::new(
+            &c,
+            "t",
+            GeoConfig {
+                edges: 2,
+                ..GeoConfig::default()
+            },
+        )
+        .unwrap();
+        // Train the master on two separated hotspots via edge 0.
+        for i in 0..120 {
+            let e = 3.0 + (i % 15) as f64 * 0.3;
+            let left = AnalyticalQuery::new(
+                Region::Range(
+                    Rect::centered(&Point::new(vec![25.0, 50.0]), &[e, e]).unwrap(),
+                ),
+                AggregateKind::Count,
+            );
+            geo.submit(0, &left).unwrap();
+            let right = AnalyticalQuery::new(
+                Region::Range(
+                    Rect::centered(&Point::new(vec![75.0, 50.0]), &[e, e]).unwrap(),
+                ),
+                AggregateKind::Count,
+            );
+            geo.submit(0, &right).unwrap();
+        }
+        geo.reset_stats();
+        let full = geo.sync_edge(1).unwrap();
+        let left_region = Rect::new(vec![10.0, 30.0], vec![40.0, 70.0]).unwrap();
+        let selective = geo.sync_edge_region(1, &left_region).unwrap();
+        assert!(
+            selective < full,
+            "selective placement ships less: {selective} vs {full}"
+        );
+        // The selectively-synced edge still answers left-hotspot queries
+        // locally.
+        let mut local = 0;
+        for i in 0..20 {
+            let e = 3.0 + (i % 15) as f64 * 0.3;
+            let q = AnalyticalQuery::new(
+                Region::Range(
+                    Rect::centered(&Point::new(vec![25.0, 50.0]), &[e, e]).unwrap(),
+                ),
+                AggregateKind::Count,
+            );
+            if geo.submit(1, &q).unwrap().source == GeoSource::EdgeModel {
+                local += 1;
+            }
+        }
+        assert!(local > 15, "local answers in the placed region: {local}");
+    }
+
+    #[test]
+    fn routing_falls_back_to_core_when_nobody_knows() {
+        let c = cluster();
+        let mut geo = GeoSystem::new(
+            &c,
+            "t",
+            GeoConfig {
+                edges: 3,
+                ..GeoConfig::default()
+            },
+        )
+        .unwrap();
+        let out = geo.submit_routed(1, &query(5.0)).unwrap();
+        assert_eq!(out.source, GeoSource::CoreExact);
+        assert!(geo.submit_routed(99, &query(5.0)).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The graph database: a collection of data graphs answering
+//! subgraph-containment queries.
+
+use sea_common::{Result, SeaError};
+
+use crate::graph::Graph;
+use crate::iso::subgraph_isomorphic;
+
+/// Work statistics of one query execution — the cache-effectiveness metric
+/// of experiment E6 is the drop in `verifications`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Candidate graphs whose containment was verified by isomorphism
+    /// search (the expensive step).
+    pub verifications: usize,
+    /// Candidates skipped via cheap label-filtering.
+    pub filtered_out: usize,
+    /// Answers obtained without any verification (cache hits).
+    pub from_cache: usize,
+}
+
+/// A database of labelled graphs.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDb {
+    graphs: Vec<Graph>,
+}
+
+impl GraphDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        GraphDb::default()
+    }
+
+    /// Adds a graph, returning its id.
+    pub fn add_graph(&mut self, g: Graph) -> usize {
+        self.graphs.push(g);
+        self.graphs.len() - 1
+    }
+
+    /// Number of stored graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The graph with id `id`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown id.
+    pub fn graph(&self, id: usize) -> Result<&Graph> {
+        self.graphs
+            .get(id)
+            .ok_or_else(|| SeaError::NotFound(format!("graph {id}")))
+    }
+
+    /// Answers a subgraph query without a cache: label-filter every stored
+    /// graph, then verify the survivors by isomorphism search. Returns the
+    /// sorted ids of graphs containing `pattern` plus work statistics.
+    pub fn query(&self, pattern: &Graph) -> (Vec<usize>, QueryStats) {
+        self.query_candidates(pattern, None, &[])
+    }
+
+    /// Core query routine used by the semantic cache:
+    ///
+    /// * `candidates` — if `Some`, only these ids are considered at all
+    ///   (a subgraph cache hit shrank the search space);
+    /// * `guaranteed` — ids known to contain the pattern (a supergraph
+    ///   cache hit), included in the answer without verification.
+    pub fn query_candidates(
+        &self,
+        pattern: &Graph,
+        candidates: Option<&[usize]>,
+        guaranteed: &[usize],
+    ) -> (Vec<usize>, QueryStats) {
+        let mut stats = QueryStats {
+            from_cache: guaranteed.len(),
+            ..QueryStats::default()
+        };
+        let mut answer: Vec<usize> = guaranteed.to_vec();
+        let p_labels = pattern.label_multiset();
+
+        let ids: Vec<usize> = match candidates {
+            Some(c) => c.to_vec(),
+            None => (0..self.graphs.len()).collect(),
+        };
+        for id in ids {
+            if answer.contains(&id) {
+                continue;
+            }
+            let Some(g) = self.graphs.get(id) else {
+                continue;
+            };
+            if !label_superset(&g.label_multiset(), &p_labels)
+                || g.num_edges() < pattern.num_edges()
+            {
+                stats.filtered_out += 1;
+                continue;
+            }
+            stats.verifications += 1;
+            if subgraph_isomorphic(pattern, g) {
+                answer.push(id);
+            }
+        }
+        answer.sort_unstable();
+        answer.dedup();
+        (answer, stats)
+    }
+}
+
+/// Whether sorted multiset `sup` contains sorted multiset `sub`.
+fn label_superset(sup: &[u32], sub: &[u32]) -> bool {
+    let mut i = 0;
+    for &l in sub {
+        // advance i to the first element >= l
+        while i < sup.len() && sup[i] < l {
+            i += 1;
+        }
+        if i >= sup.len() || sup[i] != l {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(labels: &[u32]) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<usize> = labels.iter().map(|&l| g.add_node(l)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn db() -> GraphDb {
+        let mut db = GraphDb::new();
+        db.add_graph(path(&[1, 2, 3])); // 0
+        db.add_graph(path(&[1, 2])); // 1
+        db.add_graph(path(&[3, 2, 1, 2])); // 2
+        db.add_graph(path(&[5, 5, 5])); // 3
+        db
+    }
+
+    #[test]
+    fn query_finds_containing_graphs() {
+        let db = db();
+        let (ids, stats) = db.query(&path(&[1, 2]));
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(stats.filtered_out >= 1, "label filter killed graph 3");
+        assert!(stats.verifications <= 3);
+    }
+
+    #[test]
+    fn candidate_restriction_limits_verifications() {
+        let db = db();
+        let (ids, stats) = db.query_candidates(&path(&[1, 2]), Some(&[0, 1]), &[]);
+        assert_eq!(ids, vec![0, 1]);
+        assert!(stats.verifications <= 2);
+    }
+
+    #[test]
+    fn guaranteed_answers_skip_verification() {
+        let db = db();
+        let (ids, stats) = db.query_candidates(&path(&[1, 2]), Some(&[2]), &[0, 1]);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(stats.from_cache, 2);
+        assert_eq!(stats.verifications, 1);
+    }
+
+    #[test]
+    fn label_superset_logic() {
+        assert!(label_superset(&[1, 2, 2, 3], &[2, 3]));
+        assert!(!label_superset(&[1, 2, 3], &[2, 2]));
+        assert!(label_superset(&[1], &[]));
+        assert!(!label_superset(&[], &[1]));
+    }
+
+    #[test]
+    fn graph_accessor() {
+        let db = db();
+        assert_eq!(db.graph(0).unwrap().num_nodes(), 3);
+        assert!(db.graph(99).is_err());
+        assert_eq!(db.len(), 4);
+        assert!(!db.is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! VF2-style subgraph isomorphism.
+
+use crate::graph::Graph;
+
+/// Whether `pattern` is subgraph-isomorphic to `target`: an injective map
+/// of pattern nodes to target nodes preserving labels and pattern edges.
+/// (Non-induced semantics: extra target edges are allowed.)
+///
+/// The search is a depth-first backtracking match with label, degree, and
+/// connectivity pruning — the standard VF2 recipe.
+pub fn subgraph_isomorphic(pattern: &Graph, target: &Graph) -> bool {
+    if pattern.num_nodes() == 0 {
+        return true;
+    }
+    if pattern.num_nodes() > target.num_nodes() || pattern.num_edges() > target.num_edges() {
+        return false;
+    }
+    // Quick label-multiset necessary condition.
+    let mut t_labels = target.label_multiset();
+    for l in pattern.label_multiset() {
+        // Remove one occurrence of l from t_labels.
+        match t_labels.binary_search(&l) {
+            Ok(pos) => {
+                t_labels.remove(pos);
+            }
+            Err(_) => return false,
+        }
+    }
+
+    // Match order: pattern nodes by descending degree, but keeping the
+    // matched prefix connected when possible (cheap approximation: start
+    // from the highest-degree node and BFS).
+    let order = match_order(pattern);
+    let mut mapping = vec![usize::MAX; pattern.num_nodes()];
+    let mut used = vec![false; target.num_nodes()];
+    backtrack(pattern, target, &order, 0, &mut mapping, &mut used)
+}
+
+fn match_order(pattern: &Graph) -> Vec<usize> {
+    let n = pattern.num_nodes();
+    let start = (0..n).max_by_key(|&v| pattern.degree(v)).unwrap_or(0);
+    let mut order = vec![start];
+    let mut in_order = vec![false; n];
+    in_order[start] = true;
+    // Greedy: next node with most matched neighbours, ties by degree.
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&v| !in_order[v])
+            .max_by_key(|&v| {
+                let connected = pattern
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| in_order[u])
+                    .count();
+                (connected, pattern.degree(v))
+            })
+            .expect("nodes remain");
+        in_order[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+fn backtrack(
+    pattern: &Graph,
+    target: &Graph,
+    order: &[usize],
+    depth: usize,
+    mapping: &mut [usize],
+    used: &mut [bool],
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let p = order[depth];
+    // Candidates: if p has an already-mapped neighbour, restrict to that
+    // neighbour's image's neighbourhood; otherwise all target nodes.
+    let anchored: Option<usize> = pattern
+        .neighbors(p)
+        .iter()
+        .find(|&&u| mapping[u] != usize::MAX)
+        .map(|&u| mapping[u]);
+    let candidates: Vec<usize> = match anchored {
+        Some(t_anchor) => target.neighbors(t_anchor).to_vec(),
+        None => (0..target.num_nodes()).collect(),
+    };
+    for t in candidates {
+        if used[t] || target.label(t) != pattern.label(p) || target.degree(t) < pattern.degree(p) {
+            continue;
+        }
+        // All mapped pattern neighbours of p must be target neighbours of t.
+        let ok = pattern
+            .neighbors(p)
+            .iter()
+            .all(|&u| mapping[u] == usize::MAX || target.has_edge(t, mapping[u]));
+        if !ok {
+            continue;
+        }
+        mapping[p] = t;
+        used[t] = true;
+        if backtrack(pattern, target, order, depth + 1, mapping, used) {
+            return true;
+        }
+        mapping[p] = usize::MAX;
+        used[t] = false;
+    }
+    false
+}
+
+/// Whether two graphs are isomorphic (mutual subgraph containment with
+/// equal sizes — exact for our label-preserving, simple-graph setting).
+pub fn graphs_isomorphic(a: &Graph, b: &Graph) -> bool {
+    a.num_nodes() == b.num_nodes() && a.num_edges() == b.num_edges() && subgraph_isomorphic(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(labels: &[u32]) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<usize> = labels.iter().map(|&l| g.add_node(l)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn cycle(labels: &[u32]) -> Graph {
+        let mut g = path(labels);
+        g.add_edge(labels.len() - 1, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_pattern_matches_anything() {
+        assert!(subgraph_isomorphic(&Graph::new(), &path(&[1, 2])));
+    }
+
+    #[test]
+    fn path_in_cycle() {
+        let p = path(&[1, 1, 1]);
+        let c = cycle(&[1, 1, 1, 1, 1]);
+        assert!(subgraph_isomorphic(&p, &c));
+        assert!(!subgraph_isomorphic(&c, &p), "cycle needs a cycle");
+    }
+
+    #[test]
+    fn labels_must_match() {
+        let p = path(&[1, 2]);
+        assert!(subgraph_isomorphic(&p, &path(&[2, 1, 3])));
+        assert!(!subgraph_isomorphic(&p, &path(&[1, 1, 1])));
+    }
+
+    #[test]
+    fn triangle_not_in_square_but_in_k4() {
+        let tri = cycle(&[1, 1, 1]);
+        let square = cycle(&[1, 1, 1, 1]);
+        assert!(!subgraph_isomorphic(&tri, &square));
+        // K4
+        let mut k4 = Graph::new();
+        for _ in 0..4 {
+            k4.add_node(1);
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                k4.add_edge(a, b).unwrap();
+            }
+        }
+        assert!(subgraph_isomorphic(&tri, &k4));
+        assert!(subgraph_isomorphic(&square, &k4), "non-induced semantics");
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        let mut p = Graph::new();
+        p.add_node(1);
+        p.add_node(2); // two isolated nodes
+        let t = path(&[2, 3, 1]);
+        assert!(subgraph_isomorphic(&p, &t));
+        let t2 = path(&[1, 3]);
+        assert!(!subgraph_isomorphic(&p, &t2), "no label-2 node");
+    }
+
+    #[test]
+    fn bigger_pattern_than_target_fails_fast() {
+        let p = path(&[1, 1, 1, 1]);
+        let t = path(&[1, 1]);
+        assert!(!subgraph_isomorphic(&p, &t));
+    }
+
+    #[test]
+    fn graph_isomorphism() {
+        let a = cycle(&[1, 2, 1, 2]);
+        let b = cycle(&[2, 1, 2, 1]);
+        assert!(graphs_isomorphic(&a, &b));
+        let c = cycle(&[1, 1, 2, 2]);
+        assert!(!graphs_isomorphic(&a, &c), "different label arrangement");
+        assert!(!graphs_isomorphic(&a, &path(&[1, 2, 1, 2])));
+    }
+
+    #[test]
+    fn injective_mapping_required() {
+        // Pattern: two label-1 nodes joined to a label-2 hub. Target: one
+        // label-1 node joined to the hub — must NOT match.
+        let mut p = Graph::new();
+        let h = p.add_node(2);
+        let a = p.add_node(1);
+        let b = p.add_node(1);
+        p.add_edge(h, a).unwrap();
+        p.add_edge(h, b).unwrap();
+        let mut t = Graph::new();
+        let th = t.add_node(2);
+        let ta = t.add_node(1);
+        t.add_edge(th, ta).unwrap();
+        assert!(!subgraph_isomorphic(&p, &t));
+    }
+}

@@ -1,0 +1,193 @@
+//! Ullmann-style subgraph isomorphism: candidate-matrix refinement.
+//!
+//! The second of the two matching algorithms (\[37\], \[38\] study "parallel
+//! use of query rewritings and alternative algorithms" and "hybrid
+//! algorithms" precisely because neither algorithm dominates): Ullmann
+//! maintains a pattern×target candidate matrix and *refines* it before and
+//! during search — each pattern node's candidate must have a candidate
+//! neighbour for every pattern neighbour. Refinement is expensive per
+//! node but prunes dramatically on dense patterns; VF2's lighter
+//! per-step checks win on small/sparse ones.
+
+use crate::graph::Graph;
+
+/// Whether `pattern` is subgraph-isomorphic to `target`, by Ullmann's
+/// algorithm (non-induced semantics, label-preserving, injective).
+pub fn subgraph_isomorphic_ullmann(pattern: &Graph, target: &Graph) -> bool {
+    let pn = pattern.num_nodes();
+    let tn = target.num_nodes();
+    if pn == 0 {
+        return true;
+    }
+    if pn > tn || pattern.num_edges() > target.num_edges() {
+        return false;
+    }
+    // Initial candidate matrix: label + degree compatibility.
+    let mut candidates: Vec<Vec<bool>> = (0..pn)
+        .map(|p| {
+            (0..tn)
+                .map(|t| {
+                    pattern.label(p) == target.label(t) && pattern.degree(p) <= target.degree(t)
+                })
+                .collect()
+        })
+        .collect();
+    if !refine(pattern, target, &mut candidates) {
+        return false;
+    }
+    let mut assigned = vec![usize::MAX; pn];
+    let mut used = vec![false; tn];
+    search(
+        pattern,
+        target,
+        0,
+        &mut candidates,
+        &mut assigned,
+        &mut used,
+    )
+}
+
+/// Ullmann refinement: a candidate (p → t) survives only if every pattern
+/// neighbour of p has at least one surviving candidate among t's
+/// neighbours. Iterates to a fixed point; returns false when a pattern
+/// node loses all candidates.
+fn refine(pattern: &Graph, target: &Graph, candidates: &mut [Vec<bool>]) -> bool {
+    loop {
+        let mut changed = false;
+        for p in 0..pattern.num_nodes() {
+            for t in 0..target.num_nodes() {
+                if !candidates[p][t] {
+                    continue;
+                }
+                let ok = pattern
+                    .neighbors(p)
+                    .iter()
+                    .all(|&q| target.neighbors(t).iter().any(|&u| candidates[q][u]));
+                if !ok {
+                    candidates[p][t] = false;
+                    changed = true;
+                }
+            }
+            if candidates[p].iter().all(|c| !c) {
+                return false;
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn search(
+    pattern: &Graph,
+    target: &Graph,
+    depth: usize,
+    candidates: &mut [Vec<bool>],
+    assigned: &mut [usize],
+    used: &mut [bool],
+) -> bool {
+    if depth == pattern.num_nodes() {
+        return true;
+    }
+    // Most-constrained-first: pick the unassigned pattern node with the
+    // fewest live candidates.
+    let p = (0..pattern.num_nodes())
+        .filter(|&p| assigned[p] == usize::MAX)
+        .min_by_key(|&p| candidates[p].iter().filter(|c| **c).count())
+        .expect("unassigned node exists");
+    let cands: Vec<usize> = (0..target.num_nodes())
+        .filter(|&t| candidates[p][t] && !used[t])
+        .collect();
+    for t in cands {
+        // Consistency with already-assigned neighbours.
+        let ok = pattern
+            .neighbors(p)
+            .iter()
+            .all(|&q| assigned[q] == usize::MAX || target.has_edge(t, assigned[q]));
+        if !ok {
+            continue;
+        }
+        assigned[p] = t;
+        used[t] = true;
+        if search(pattern, target, depth + 1, candidates, assigned, used) {
+            return true;
+        }
+        assigned[p] = usize::MAX;
+        used[t] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GraphGenerator;
+    use crate::iso::subgraph_isomorphic;
+
+    fn path(labels: &[u32]) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<usize> = labels.iter().map(|&l| g.add_node(l)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn agrees_with_vf2_on_basics() {
+        let p = path(&[1, 2, 3]);
+        let t = path(&[0, 1, 2, 3, 4]);
+        assert!(subgraph_isomorphic_ullmann(&p, &t));
+        assert!(!subgraph_isomorphic_ullmann(&t, &p));
+        assert!(subgraph_isomorphic_ullmann(&Graph::new(), &p));
+    }
+
+    #[test]
+    fn agrees_with_vf2_on_random_graphs() {
+        let data_gen = GraphGenerator::new(3, 0.25, 5);
+        let query_gen = GraphGenerator::new(3, 0.5, 6);
+        let mut positives = 0;
+        for i in 0..150 {
+            let target = data_gen.generate(12, i);
+            let pattern = query_gen.generate(3 + (i % 3) as usize, 1000 + i);
+            let vf2 = subgraph_isomorphic(&pattern, &target);
+            let ull = subgraph_isomorphic_ullmann(&pattern, &target);
+            assert_eq!(vf2, ull, "case {i}");
+            if vf2 {
+                positives += 1;
+            }
+        }
+        assert!(
+            positives > 10,
+            "the comparison exercised real matches: {positives}"
+        );
+    }
+
+    #[test]
+    fn refinement_prunes_impossible_cases_fast() {
+        // A star pattern whose hub needs degree 5; target max degree 2.
+        let mut star = Graph::new();
+        let hub = star.add_node(1);
+        for _ in 0..5 {
+            let leaf = star.add_node(1);
+            star.add_edge(hub, leaf).unwrap();
+        }
+        let chain = path(&[1, 1, 1, 1, 1, 1, 1, 1]);
+        assert!(!subgraph_isomorphic_ullmann(&star, &chain));
+    }
+
+    #[test]
+    fn injective_constraint() {
+        let mut p = Graph::new();
+        let h = p.add_node(2);
+        let a = p.add_node(1);
+        let b = p.add_node(1);
+        p.add_edge(h, a).unwrap();
+        p.add_edge(h, b).unwrap();
+        let mut t = Graph::new();
+        let th = t.add_node(2);
+        let ta = t.add_node(1);
+        t.add_edge(th, ta).unwrap();
+        assert!(!subgraph_isomorphic_ullmann(&p, &t));
+    }
+}

@@ -1,0 +1,209 @@
+//! Count–min sketch: sublinear frequency estimation (\[16\] in the paper).
+//!
+//! The sketch answers "how often did item x appear?" with one-sided error
+//! (`estimate ≥ true count`, over-estimating by at most `ε·N` with
+//! probability `1 − δ`), using `O(width × depth)` counters regardless of
+//! stream length — a canonical data synopsis for AQP.
+
+use serde::{Deserialize, Serialize};
+
+use sea_common::{Result, SeaError};
+
+/// A count–min sketch over `u64` item identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use sea_index::CountMinSketch;
+///
+/// let mut cms = CountMinSketch::with_error(0.01, 0.01).unwrap();
+/// for _ in 0..100 {
+///     cms.add(7);
+/// }
+/// cms.add(8);
+/// assert!(cms.estimate(7) >= 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    counters: Vec<u64>,
+    seeds: Vec<u64>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with explicit geometry.
+    ///
+    /// # Errors
+    ///
+    /// Zero width or depth.
+    pub fn new(width: usize, depth: usize) -> Result<Self> {
+        if width == 0 || depth == 0 {
+            return Err(SeaError::invalid("sketch width and depth must be positive"));
+        }
+        // Fixed, arbitrary-but-distinct seeds per row (splitmix64 stream).
+        let mut seeds = Vec::with_capacity(depth);
+        let mut s = 0x5EA5_EED5_EED5_EED5u64;
+        for _ in 0..depth {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            seeds.push(z ^ (z >> 31));
+        }
+        Ok(CountMinSketch {
+            counters: vec![0; width * depth],
+            width,
+            depth,
+            seeds,
+            total: 0,
+        })
+    }
+
+    /// Creates a sketch sized for additive error `ε·N` with failure
+    /// probability `δ`: `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Parameters outside `(0, 1)`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Result<Self> {
+        let in_unit = |v: f64| v.is_finite() && v > 0.0 && v < 1.0;
+        if !in_unit(epsilon) || !in_unit(delta) {
+            return Err(SeaError::invalid("epsilon and delta must lie in (0, 1)"));
+        }
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMinSketch::new(width, depth)
+    }
+
+    fn bucket(&self, row: usize, item: u64) -> usize {
+        let mut z = item ^ self.seeds[row];
+        z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        z ^= z >> 33;
+        row * self.width + (z % self.width as u64) as usize
+    }
+
+    /// Records one occurrence of `item`.
+    pub fn add(&mut self, item: u64) {
+        self.add_n(item, 1);
+    }
+
+    /// Records `n` occurrences of `item`.
+    pub fn add_n(&mut self, item: u64, n: u64) {
+        for row in 0..self.depth {
+            let b = self.bucket(row, item);
+            self.counters[b] = self.counters[b].saturating_add(n);
+        }
+        self.total = self.total.saturating_add(n);
+    }
+
+    /// Point estimate of `item`'s frequency (never underestimates).
+    pub fn estimate(&self, item: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.counters[self.bucket(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Memory footprint in bytes (the E8 storage metric).
+    pub fn memory_bytes(&self) -> u64 {
+        8 * (self.counters.len() as u64 + self.seeds.len() as u64) + 24
+    }
+
+    /// Merges another sketch of identical geometry into this one.
+    ///
+    /// # Errors
+    ///
+    /// Geometry mismatch.
+    pub fn merge(&mut self, other: &CountMinSketch) -> Result<()> {
+        if self.width != other.width || self.depth != other.depth {
+            return Err(SeaError::invalid(
+                "cannot merge sketches of different geometry",
+            ));
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a = a.saturating_add(*b);
+        }
+        self.total = self.total.saturating_add(other.total);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::new(128, 4).unwrap();
+        for item in 0..100u64 {
+            cms.add_n(item, item + 1);
+        }
+        for item in 0..100u64 {
+            assert!(cms.estimate(item) > item, "item {item}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_accuracy() {
+        let mut cms = CountMinSketch::with_error(0.005, 0.01).unwrap();
+        cms.add_n(42, 10_000);
+        for item in 1000..2000u64 {
+            cms.add(item);
+        }
+        let est = cms.estimate(42);
+        // ε·N = 0.005 · 11000 = 55 max overestimate (whp).
+        assert!((10_000..=10_100).contains(&est), "got {est}");
+    }
+
+    #[test]
+    fn unseen_items_estimate_low() {
+        let mut cms = CountMinSketch::with_error(0.01, 0.01).unwrap();
+        for item in 0..100u64 {
+            cms.add(item);
+        }
+        let est = cms.estimate(999_999);
+        assert!(est <= 2, "got {est}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = CountMinSketch::new(64, 3).unwrap();
+        let mut b = CountMinSketch::new(64, 3).unwrap();
+        a.add_n(1, 10);
+        b.add_n(1, 5);
+        b.add_n(2, 7);
+        a.merge(&b).unwrap();
+        assert!(a.estimate(1) >= 15);
+        assert!(a.estimate(2) >= 7);
+        assert_eq!(a.total(), 22);
+
+        let c = CountMinSketch::new(32, 3).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(CountMinSketch::new(0, 4).is_err());
+        assert!(CountMinSketch::new(4, 0).is_err());
+        assert!(CountMinSketch::with_error(0.0, 0.5).is_err());
+        assert!(CountMinSketch::with_error(0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn memory_is_constant_in_stream_length() {
+        let mut cms = CountMinSketch::new(256, 4).unwrap();
+        let before = cms.memory_bytes();
+        for i in 0..100_000u64 {
+            cms.add(i);
+        }
+        assert_eq!(cms.memory_bytes(), before);
+    }
+}

@@ -1,0 +1,449 @@
+//! MapReduce-style vs coordinator–cohort distributed kNN.
+
+use sea_common::{CostMeter, CostModel, CostReport, Point, Record, Rect, Result, SeaError};
+use sea_index::kdtree::{KdTree, Neighbor};
+use sea_storage::{NodeId, StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
+
+/// A kNN answer plus its resource bill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnOutcome {
+    /// The k nearest neighbours, ascending distance.
+    pub neighbors: Vec<Neighbor>,
+    /// The cost of finding them.
+    pub cost: CostReport,
+    /// Data nodes that actually did work.
+    pub nodes_engaged: usize,
+}
+
+/// MapReduce-style kNN: full scan of every node's partition through the
+/// BDAS stack; each node ships its local top-k; the coordinator merges.
+///
+/// # Errors
+///
+/// Missing table, `k == 0`, or dimension mismatch.
+pub fn mapreduce_knn(
+    cluster: &StorageCluster,
+    table: &str,
+    query: &Point,
+    k: usize,
+    cost_model: &CostModel,
+) -> Result<KnnOutcome> {
+    if k == 0 {
+        return Err(SeaError::invalid("k must be positive"));
+    }
+    SeaError::check_dims(cluster.dims(table)?, query.dims())?;
+    let mut node_meters = Vec::new();
+    let mut merged: Vec<Neighbor> = Vec::new();
+    for node in 0..cluster.num_nodes() {
+        let mut meter = CostMeter::new();
+        meter.touch_node(BDAS_LAYERS);
+        let records = cluster.scan_node(table, node, &mut meter)?;
+        let mut local: Vec<Neighbor> = records
+            .iter()
+            .map(|r| Neighbor {
+                id: r.id,
+                distance: dist(query, r),
+            })
+            .collect();
+        local.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+        local.truncate(k);
+        meter.charge_lan(local.len() as u64 * 16);
+        merged.extend(local);
+        node_meters.push(meter);
+    }
+    let mut coord = CostMeter::new();
+    coord.charge_cpu(merged.len() as u64);
+    merged.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite")
+            .then(a.id.cmp(&b.id))
+    });
+    merged.truncate(k);
+    let nodes = cluster.num_nodes();
+    Ok(KnnOutcome {
+        neighbors: merged,
+        cost: coord.report_parallel(node_meters.iter(), cost_model),
+        nodes_engaged: nodes,
+    })
+}
+
+fn dist(q: &Point, r: &Record) -> f64 {
+    q.coords()
+        .iter()
+        .zip(&r.values)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// The coordinator–cohort kNN operator: one k-d tree per data node, plus
+/// each partition's bounding rectangle for node-level pruning.
+#[derive(Debug, Clone)]
+pub struct DistributedKnnIndex {
+    trees: Vec<Option<KdTree>>,
+    bounds: Vec<Option<Rect>>,
+    dims: usize,
+    record_bytes: u64,
+    build_cost: CostReport,
+}
+
+impl DistributedKnnIndex {
+    /// Builds the per-node trees with one offline pass over `table`.
+    ///
+    /// # Errors
+    ///
+    /// Missing table.
+    pub fn build(cluster: &StorageCluster, table: &str, cost_model: &CostModel) -> Result<Self> {
+        let dims = cluster.dims(table)?;
+        let mut node_meters = Vec::new();
+        let mut trees = Vec::with_capacity(cluster.num_nodes());
+        let mut bounds = Vec::with_capacity(cluster.num_nodes());
+        for node in 0..cluster.num_nodes() {
+            let mut meter = CostMeter::new();
+            meter.touch_node(DIRECT_LAYERS);
+            let records: Vec<Record> = cluster
+                .scan_node(table, node, &mut meter)?
+                .into_iter()
+                .cloned()
+                .collect();
+            if records.is_empty() {
+                trees.push(None);
+                bounds.push(None);
+            } else {
+                let mut lo = records[0].values.clone();
+                let mut hi = records[0].values.clone();
+                for r in &records {
+                    for d in 0..dims {
+                        lo[d] = lo[d].min(r.value(d));
+                        hi[d] = hi[d].max(r.value(d));
+                    }
+                }
+                bounds.push(Some(Rect::new(lo, hi)?));
+                trees.push(Some(KdTree::build(&records)?));
+            }
+            node_meters.push(meter);
+        }
+        let coord = CostMeter::new();
+        Ok(DistributedKnnIndex {
+            trees,
+            bounds,
+            dims,
+            record_bytes: 8 + 8 * dims as u64,
+            build_cost: coord.report_parallel(node_meters.iter(), cost_model),
+        })
+    }
+
+    /// The one-time index construction bill.
+    pub fn build_cost(&self) -> &CostReport {
+        &self.build_cost
+    }
+
+    /// Data dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Answers a kNN query: nodes are visited in ascending
+    /// distance-from-partition order; once `k` neighbours are known and the
+    /// next node's partition lies farther than the current k-th distance,
+    /// the remaining nodes are never engaged.
+    ///
+    /// # Errors
+    ///
+    /// `k == 0` or dimension mismatch.
+    pub fn query(&self, query: &Point, k: usize, cost_model: &CostModel) -> Result<KnnOutcome> {
+        self.query_budgeted(query, k, usize::MAX, cost_model)
+    }
+
+    /// Approximate kNN (RT2-1): like [`DistributedKnnIndex::query`] but
+    /// engages at most `max_nodes` partitions. With hash partitioning the
+    /// first partitions already contain a uniform sample of the data, so
+    /// small budgets trade a little recall for a large cost reduction;
+    /// `usize::MAX` recovers the exact operator.
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, `max_nodes == 0`, or dimension mismatch.
+    pub fn query_budgeted(
+        &self,
+        query: &Point,
+        k: usize,
+        max_nodes: usize,
+        cost_model: &CostModel,
+    ) -> Result<KnnOutcome> {
+        if max_nodes == 0 {
+            return Err(SeaError::invalid("max_nodes must be positive"));
+        }
+        self.query_inner(query, k, max_nodes, cost_model)
+    }
+
+    fn query_inner(
+        &self,
+        query: &Point,
+        k: usize,
+        max_nodes: usize,
+        cost_model: &CostModel,
+    ) -> Result<KnnOutcome> {
+        if k == 0 {
+            return Err(SeaError::invalid("k must be positive"));
+        }
+        SeaError::check_dims(self.dims, query.dims())?;
+
+        // Visit order: ascending minimum distance from query to partition.
+        let mut order: Vec<(f64, NodeId)> = Vec::new();
+        for (node, b) in self.bounds.iter().enumerate() {
+            if let Some(rect) = b {
+                order.push((rect.min_distance(query)?, node));
+            }
+        }
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+        let mut coord = CostMeter::new();
+        let mut node_meters = Vec::new();
+        let mut merged: Vec<Neighbor> = Vec::new();
+        let mut engaged = 0usize;
+        for (min_dist, node) in order {
+            if engaged >= max_nodes {
+                break; // approximate budget exhausted
+            }
+            let kth = merged
+                .get(k - 1)
+                .map(|n| n.distance)
+                .unwrap_or(f64::INFINITY);
+            if merged.len() >= k && min_dist > kth {
+                break; // this and all farther nodes are irrelevant
+            }
+            engaged += 1;
+            coord.charge_lan(48); // the query message
+            let mut meter = CostMeter::new();
+            meter.touch_node(DIRECT_LAYERS);
+            let tree = self.trees[node].as_ref().expect("ordered over Some");
+            let local = tree.nearest(query, k)?;
+            // Index traversal: ~log2(n) node inspections per result.
+            // The tree (holding the vectors) is memory-resident on its
+            // node — the offline build already paid the disk pass — so a
+            // query costs only the logarithmic traversal plus shipping the
+            // k winners.
+            let visits = (tree.len().max(2) as f64).log2().ceil() as u64 * k as u64;
+            meter.charge_cpu(visits);
+            meter.charge_lan(local.len() as u64 * self.record_bytes.max(16));
+            merged.extend(local);
+            merged.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .expect("finite")
+                    .then(a.id.cmp(&b.id))
+            });
+            merged.truncate(k);
+            node_meters.push(meter);
+        }
+        coord.charge_cpu(merged.len() as u64);
+        Ok(KnnOutcome {
+            neighbors: merged,
+            cost: coord.report_parallel(node_meters.iter(), cost_model),
+            nodes_engaged: engaged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_common::RecordId;
+    use sea_storage::Partitioning;
+
+    fn cluster(n: u64, partitioning: Partitioning) -> StorageCluster {
+        let mut c = StorageCluster::new(8, 256);
+        let records: Vec<Record> = (0..n)
+            .map(|i| {
+                Record::new(
+                    i,
+                    vec![(i % 1000) as f64 / 10.0, (i / 1000) as f64 * 3.7 % 100.0],
+                )
+            })
+            .collect();
+        c.load_table("t", records, partitioning).unwrap();
+        c
+    }
+
+    fn brute(c: &StorageCluster, q: &Point, k: usize) -> Vec<(RecordId, f64)> {
+        let mut all: Vec<(RecordId, f64)> = c
+            .all_records("t")
+            .unwrap()
+            .iter()
+            .map(|r| (r.id, dist(q, r)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn both_strategies_match_brute_force() {
+        let c = cluster(10_000, Partitioning::Hash);
+        let model = CostModel::default();
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        for q in [
+            Point::new(vec![50.0, 50.0]),
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![99.9, 13.0]),
+        ] {
+            for k in [1, 10, 50] {
+                let want = brute(&c, &q, k);
+                let mr = mapreduce_knn(&c, "t", &q, k, &model).unwrap();
+                let cc = idx.query(&q, k, &model).unwrap();
+                let mr_d: Vec<f64> = mr.neighbors.iter().map(|n| n.distance).collect();
+                let cc_d: Vec<f64> = cc.neighbors.iter().map(|n| n.distance).collect();
+                let want_d: Vec<f64> = want.iter().map(|(_, d)| *d).collect();
+                for (got, want) in mr_d.iter().zip(&want_d) {
+                    assert!((got - want).abs() < 1e-9, "mapreduce distances");
+                }
+                for (got, want) in cc_d.iter().zip(&want_d) {
+                    assert!((got - want).abs() < 1e-9, "cohort distances");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_is_orders_cheaper() {
+        let c = cluster(50_000, Partitioning::Hash);
+        let model = CostModel::default();
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        let q = Point::new(vec![42.0, 37.0]);
+        let mr = mapreduce_knn(&c, "t", &q, 10, &model).unwrap();
+        let cc = idx.query(&q, 10, &model).unwrap();
+        let factor = mr.cost.wall_us / cc.cost.wall_us;
+        assert!(factor > 50.0, "speedup factor {factor}");
+        assert!(cc.cost.totals.disk_bytes * 100 < mr.cost.totals.disk_bytes);
+    }
+
+    #[test]
+    fn range_partitioning_engages_fewer_nodes() {
+        let c = cluster(
+            50_000,
+            Partitioning::Range {
+                dim: 0,
+                splits: Partitioning::equi_width_splits(0.0, 100.0, 8),
+            },
+        );
+        let model = CostModel::default();
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        let q = Point::new(vec![42.0, 37.0]);
+        let out = idx.query(&q, 10, &model).unwrap();
+        assert!(
+            out.nodes_engaged <= 3,
+            "pruned to the partitions near the query: {}",
+            out.nodes_engaged
+        );
+        // Results still exact.
+        let want = brute(&c, &q, 10);
+        for (n, (_, d)) in out.neighbors.iter().zip(&want) {
+            assert!((n.distance - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_table() {
+        let c = cluster(20, Partitioning::Hash);
+        let model = CostModel::default();
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        let q = Point::new(vec![1.0, 1.0]);
+        let out = idx.query(&q, 100, &model).unwrap();
+        assert_eq!(out.neighbors.len(), 20);
+        let mr = mapreduce_knn(&c, "t", &q, 100, &model).unwrap();
+        assert_eq!(mr.neighbors.len(), 20);
+    }
+
+    #[test]
+    fn validations() {
+        let c = cluster(100, Partitioning::Hash);
+        let model = CostModel::default();
+        let q = Point::new(vec![1.0, 1.0]);
+        assert!(mapreduce_knn(&c, "t", &q, 0, &model).is_err());
+        assert!(mapreduce_knn(&c, "missing", &q, 5, &model).is_err());
+        let bad_q = Point::new(vec![1.0]);
+        assert!(mapreduce_knn(&c, "t", &bad_q, 5, &model).is_err());
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        assert!(idx.query(&q, 0, &model).is_err());
+        assert!(idx.query(&bad_q, 5, &model).is_err());
+    }
+
+    #[test]
+    fn build_cost_reflects_full_scan() {
+        let c = cluster(10_000, Partitioning::Hash);
+        let model = CostModel::default();
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        assert!(idx.build_cost().totals.disk_bytes >= c.stats("t").unwrap().bytes);
+    }
+}
+
+#[cfg(test)]
+mod approximate_tests {
+    use super::*;
+    use sea_storage::Partitioning;
+
+    fn cluster(n: u64) -> StorageCluster {
+        let mut c = StorageCluster::new(8, 256);
+        let records: Vec<Record> = (0..n)
+            .map(|i| {
+                Record::new(
+                    i,
+                    vec![(i % 1000) as f64 / 10.0, (i / 1000) as f64 * 3.7 % 100.0],
+                )
+            })
+            .collect();
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        c
+    }
+
+    #[test]
+    fn full_budget_equals_exact() {
+        let c = cluster(20_000);
+        let model = CostModel::default();
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        let q = Point::new(vec![42.0, 37.0]);
+        let exact = idx.query(&q, 10, &model).unwrap();
+        let budgeted = idx.query_budgeted(&q, 10, usize::MAX, &model).unwrap();
+        let a: Vec<f64> = exact.neighbors.iter().map(|n| n.distance).collect();
+        let b: Vec<f64> = budgeted.neighbors.iter().map(|n| n.distance).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_budget_trades_recall_for_cost() {
+        let c = cluster(40_000);
+        let model = CostModel::default();
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        let q = Point::new(vec![42.0, 37.0]);
+        let exact = idx.query(&q, 20, &model).unwrap();
+        let approx = idx.query_budgeted(&q, 20, 2, &model).unwrap();
+        assert!(approx.nodes_engaged <= 2);
+        assert!(approx.cost.wall_us <= exact.cost.wall_us);
+        // Recall: fraction of exact ids that the approximate answer found.
+        let exact_ids: std::collections::HashSet<_> =
+            exact.neighbors.iter().map(|n| n.id).collect();
+        let hits = approx
+            .neighbors
+            .iter()
+            .filter(|n| exact_ids.contains(&n.id))
+            .count();
+        let recall = hits as f64 / exact.neighbors.len() as f64;
+        // Hash partitioning: 2 of 8 nodes ≈ a 25% uniform sample, so
+        // recall is imperfect but far above zero, and distances are close.
+        assert!(recall > 0.1, "recall {recall}");
+        let worst_exact = exact.neighbors.last().unwrap().distance;
+        let worst_approx = approx.neighbors.last().unwrap().distance;
+        assert!(worst_approx < worst_exact * 4.0 + 1.0);
+    }
+
+    #[test]
+    fn zero_budget_is_invalid() {
+        let c = cluster(1_000);
+        let model = CostModel::default();
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        let q = Point::new(vec![1.0, 1.0]);
+        assert!(idx.query_budgeted(&q, 5, 0, &model).is_err());
+    }
+}

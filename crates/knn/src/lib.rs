@@ -1,0 +1,28 @@
+//! # sea-knn
+//!
+//! Distributed k-nearest-neighbour query processing (P3, second bullet;
+//! \[33\]: "Scaling kNN queries (the right way)", three orders of magnitude
+//! over MapReduce-style processing).
+//!
+//! * [`mapreduce_knn`] — the baseline: every node scans its full partition
+//!   through the BDAS stack, computes a local top-k, and ships it to a
+//!   coordinator for the final merge. Scales with *data size*.
+//! * [`DistributedKnnIndex`] — the coordinator–cohort operator: per-node
+//!   k-d trees (built offline) answer local kNN in logarithmic work; the
+//!   coordinator visits nodes in ascending distance-to-partition order and
+//!   stops as soon as the running k-th distance proves remaining nodes
+//!   irrelevant. Scales with *k*, not data size.
+//!
+//! Variants required by RT2-1 are included: reverse kNN, kNN joins, and
+//! all-pairs kNN, all built on the same cohort primitive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod distributed;
+pub mod variants;
+
+pub use aggregate::{knn_aggregate, KnnAggregateOutcome};
+pub use distributed::{mapreduce_knn, DistributedKnnIndex, KnnOutcome};
+pub use variants::{all_pairs_knn, knn_join, reverse_knn};

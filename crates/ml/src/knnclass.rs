@@ -1,0 +1,186 @@
+//! k-nearest-neighbour classification (RT2-2: "expediting … kNN
+//! regression and kNN classification").
+
+use serde::{Deserialize, Serialize};
+
+use sea_common::{Result, SeaError};
+
+/// A majority-vote kNN classifier over integral class labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    k: usize,
+    xs: Vec<Vec<f64>>,
+    labels: Vec<i64>,
+    dims: usize,
+}
+
+impl KnnClassifier {
+    /// Creates an empty classifier.
+    ///
+    /// # Errors
+    ///
+    /// Zero `k` or `dims`.
+    pub fn new(dims: usize, k: usize) -> Result<Self> {
+        if k == 0 || dims == 0 {
+            return Err(SeaError::invalid("k and dims must be positive"));
+        }
+        Ok(KnnClassifier {
+            k,
+            xs: Vec::new(),
+            labels: Vec::new(),
+            dims,
+        })
+    }
+
+    /// Builds a classifier from training pairs.
+    ///
+    /// # Errors
+    ///
+    /// Empty input or mismatched lengths/dimensions.
+    pub fn fit(xs: &[Vec<f64>], labels: &[i64], k: usize) -> Result<Self> {
+        let Some(first) = xs.first() else {
+            return Err(SeaError::Empty("kNN classifier fit with no rows".into()));
+        };
+        SeaError::check_dims(xs.len(), labels.len())?;
+        let mut model = KnnClassifier::new(first.len(), k)?;
+        for (x, &l) in xs.iter().zip(labels) {
+            model.push(x, l)?;
+        }
+        Ok(model)
+    }
+
+    /// Adds one training pair.
+    ///
+    /// # Errors
+    ///
+    /// Dimension mismatch.
+    pub fn push(&mut self, x: &[f64], label: i64) -> Result<()> {
+        SeaError::check_dims(self.dims, x.len())?;
+        self.xs.push(x.to_vec());
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Predicted label plus the vote fraction it received (a confidence
+    /// signal). `None` when untrained.
+    pub fn predict_with_confidence(&self, x: &[f64]) -> Option<(i64, f64)> {
+        if self.xs.is_empty() {
+            return None;
+        }
+        let mut d: Vec<(f64, i64)> = self
+            .xs
+            .iter()
+            .zip(&self.labels)
+            .map(|(xi, &l)| {
+                let dist: f64 = xi.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum();
+                (dist, l)
+            })
+            .collect();
+        let k = self.k.min(d.len());
+        d.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut votes: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+        for (_, l) in &d[..k] {
+            *votes.entry(*l).or_default() += 1;
+        }
+        let (label, n) = votes
+            .into_iter()
+            .max_by_key(|(l, n)| (*n, -l))
+            .expect("non-empty");
+        Some((label, n as f64 / k as f64))
+    }
+
+    /// Predicted label (`None` when untrained).
+    pub fn predict(&self, x: &[f64]) -> Option<i64> {
+        self.predict_with_confidence(x).map(|(l, _)| l)
+    }
+
+    /// Classification accuracy on a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Empty input or mismatched lengths.
+    pub fn accuracy(&self, xs: &[Vec<f64>], labels: &[i64]) -> Result<f64> {
+        SeaError::check_dims(xs.len(), labels.len())?;
+        if xs.is_empty() {
+            return Err(SeaError::Empty("accuracy over no rows".into()));
+        }
+        let correct = xs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &l)| self.predict(x) == Some(l))
+            .count();
+        Ok(correct as f64 / xs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<i64>) {
+        let mut xs = Vec::new();
+        let mut ls = Vec::new();
+        for i in 0..60 {
+            let jitter = (i % 7) as f64 * 0.05;
+            xs.push(vec![0.0 + jitter, 0.0 - jitter]);
+            ls.push(0);
+            xs.push(vec![10.0 - jitter, 10.0 + jitter]);
+            ls.push(1);
+        }
+        (xs, ls)
+    }
+
+    #[test]
+    fn separable_blobs_classify_perfectly() {
+        let (xs, ls) = two_blobs();
+        let m = KnnClassifier::fit(&xs, &ls, 5).unwrap();
+        assert_eq!(m.predict(&[0.5, 0.5]), Some(0));
+        assert_eq!(m.predict(&[9.5, 9.5]), Some(1));
+        assert!((m.accuracy(&xs, &ls).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_reflects_vote_split() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0], vec![11.0]];
+        let ls = vec![0, 0, 0, 1, 1];
+        let m = KnnClassifier::fit(&xs, &ls, 5).unwrap();
+        let (label, conf) = m.predict_with_confidence(&[1.0]).unwrap();
+        assert_eq!(label, 0);
+        assert!((conf - 0.6).abs() < 1e-12, "3 of 5 votes: {conf}");
+    }
+
+    #[test]
+    fn incremental_and_validation() {
+        let mut m = KnnClassifier::new(2, 3).unwrap();
+        assert!(m.is_empty());
+        assert!(m.predict(&[0.0, 0.0]).is_none());
+        m.push(&[0.0, 0.0], 7).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.predict(&[1.0, 1.0]), Some(7));
+        assert!(m.push(&[1.0], 0).is_err());
+        assert!(KnnClassifier::new(0, 3).is_err());
+        assert!(KnnClassifier::new(2, 0).is_err());
+        assert!(KnnClassifier::fit(&[], &[], 3).is_err());
+        assert!(m.accuracy(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let xs = vec![vec![0.0], vec![2.0]];
+        let ls = vec![3, 5];
+        let m = KnnClassifier::fit(&xs, &ls, 2).unwrap();
+        // Equidistant, one vote each: the smaller label wins by the
+        // (count, -label) key.
+        assert_eq!(m.predict(&[1.0]), Some(3));
+    }
+}

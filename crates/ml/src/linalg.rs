@@ -1,0 +1,129 @@
+//! Minimal dense linear algebra: just enough to solve the normal
+//! equations. Matrices are row-major `Vec<f64>` with explicit dimensions.
+
+use sea_common::{Result, SeaError};
+
+/// Solves the linear system `A x = b` for square `A` (row-major, `n × n`)
+/// by Gaussian elimination with partial pivoting. `A` and `b` are consumed
+/// as scratch space.
+///
+/// # Errors
+///
+/// [`SeaError::Model`] when the matrix is (numerically) singular,
+/// [`SeaError::DimensionMismatch`] when shapes disagree.
+pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Result<Vec<f64>> {
+    if a.len() != n * n {
+        return Err(SeaError::DimensionMismatch {
+            expected: n * n,
+            actual: a.len(),
+        });
+    }
+    SeaError::check_dims(n, b.len())?;
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return Err(SeaError::Model("singular matrix in linear solve".into()));
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(x)
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ (internal helper; callers validate).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5 ; x + 3y = 10 → x = 1, y = 3.
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve(a, b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // First pivot is 0 but the system is regular.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![2.0, 3.0];
+        let x = solve(a, b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_an_error() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let b = vec![1.0, 2.0];
+        assert!(matches!(solve(a, b, 2), Err(SeaError::Model(_))));
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(solve(vec![1.0; 3], vec![1.0; 2], 2).is_err());
+        assert!(solve(vec![1.0; 4], vec![1.0; 3], 2).is_err());
+    }
+
+    #[test]
+    fn identity_returns_rhs() {
+        let a = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let b = vec![7.0, -2.0, 0.5];
+        let x = solve(a, b.clone(), 3).unwrap();
+        for (got, want) in x.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Model selection utilities: error metrics, splits, and k-fold
+//! cross-validation (\[48\]: query-driven regression model selection).
+
+use sea_common::{Result, SeaError};
+
+use crate::Regressor;
+
+/// Standard regression error metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Coefficient of determination (1 − SSE/SST); `NaN` when the target
+    /// has zero variance.
+    pub r2: f64,
+}
+
+impl Metrics {
+    /// Computes metrics of `model` over a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Empty input or mismatched lengths.
+    pub fn evaluate<M: Regressor + ?Sized>(model: &M, xs: &[Vec<f64>], ys: &[f64]) -> Result<Self> {
+        SeaError::check_dims(xs.len(), ys.len())?;
+        if xs.is_empty() {
+            return Err(SeaError::Empty("metrics over no rows".into()));
+        }
+        let n = xs.len() as f64;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sse = 0.0;
+        let mut sae = 0.0;
+        let mut sst = 0.0;
+        for (x, &y) in xs.iter().zip(ys) {
+            let e = model.predict(x) - y;
+            sse += e * e;
+            sae += e.abs();
+            sst += (y - mean_y) * (y - mean_y);
+        }
+        Ok(Metrics {
+            mse: sse / n,
+            mae: sae / n,
+            r2: if sst > 0.0 { 1.0 - sse / sst } else { f64::NAN },
+        })
+    }
+}
+
+/// Deterministically splits rows into a training and test set: every
+/// `test_every`-th row (by index, starting at offset) goes to the test set.
+/// A deterministic split keeps experiments reproducible without threading
+/// RNGs everywhere.
+///
+/// # Errors
+///
+/// Mismatched lengths or `test_every < 2`.
+#[allow(clippy::type_complexity)]
+pub fn train_test_split(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    test_every: usize,
+) -> Result<(Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
+    SeaError::check_dims(xs.len(), ys.len())?;
+    if test_every < 2 {
+        return Err(SeaError::invalid("test_every must be at least 2"));
+    }
+    let mut train_x = Vec::new();
+    let mut train_y = Vec::new();
+    let mut test_x = Vec::new();
+    let mut test_y = Vec::new();
+    for (i, (x, &y)) in xs.iter().zip(ys).enumerate() {
+        if i % test_every == test_every - 1 {
+            test_x.push(x.clone());
+            test_y.push(y);
+        } else {
+            train_x.push(x.clone());
+            train_y.push(y);
+        }
+    }
+    Ok((train_x, train_y, test_x, test_y))
+}
+
+/// k-fold cross-validated MSE of a model family. `fit` receives the
+/// training rows of each fold and returns a fitted model.
+///
+/// Folds are *strided* (fold `f` holds rows `f, f+folds, f+2·folds, …`),
+/// so sorted/ordered datasets still yield representative folds — with
+/// contiguous folds, every fold of a sorted dataset is pure
+/// extrapolation, which unfairly punishes local models.
+///
+/// # Errors
+///
+/// Fewer rows than folds, `folds < 2`, or a fold-fit failure.
+pub fn kfold_mse<M, F>(xs: &[Vec<f64>], ys: &[f64], folds: usize, mut fit: F) -> Result<f64>
+where
+    M: Regressor,
+    F: FnMut(&[Vec<f64>], &[f64]) -> Result<M>,
+{
+    SeaError::check_dims(xs.len(), ys.len())?;
+    if folds < 2 {
+        return Err(SeaError::invalid("need at least 2 folds"));
+    }
+    if xs.len() < folds {
+        return Err(SeaError::invalid("fewer rows than folds"));
+    }
+    let n = xs.len();
+    let mut total_sse = 0.0;
+    let mut total_n = 0usize;
+    for f in 0..folds {
+        let mut train_x = Vec::with_capacity(n);
+        let mut train_y = Vec::with_capacity(n);
+        for i in (0..n).filter(|i| i % folds != f) {
+            train_x.push(xs[i].clone());
+            train_y.push(ys[i]);
+        }
+        let model = fit(&train_x, &train_y)?;
+        for i in (0..n).filter(|i| i % folds == f) {
+            let e = model.predict(&xs[i]) - ys[i];
+            total_sse += e * e;
+            total_n += 1;
+        }
+    }
+    Ok(total_sse / total_n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinearModel;
+
+    fn linear_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x[0] - 2.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn metrics_perfect_model() {
+        let (xs, ys) = linear_data(50);
+        let m = LinearModel::fit(&xs, &ys, 0.0).unwrap();
+        let metrics = Metrics::evaluate(&m, &xs, &ys).unwrap();
+        assert!(metrics.mse < 1e-18);
+        assert!(metrics.mae < 1e-9);
+        assert!((metrics.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_flat_target_r2_nan() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![3.0, 3.0];
+        let m = LinearModel::fit(&xs, &ys, 0.1).unwrap();
+        let metrics = Metrics::evaluate(&m, &xs, &ys).unwrap();
+        assert!(metrics.r2.is_nan());
+        assert!(Metrics::evaluate(&m, &[], &[]).is_err());
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let (xs, ys) = linear_data(100);
+        let (tx, ty, ex, ey) = train_test_split(&xs, &ys, 5).unwrap();
+        assert_eq!(tx.len(), 80);
+        assert_eq!(ex.len(), 20);
+        assert_eq!(ty.len(), 80);
+        assert_eq!(ey.len(), 20);
+        assert!(train_test_split(&xs, &ys, 1).is_err());
+    }
+
+    #[test]
+    fn kfold_on_linear_data_is_tiny() {
+        let (xs, ys) = linear_data(60);
+        let mse = kfold_mse(&xs, &ys, 5, |tx, ty| LinearModel::fit(tx, ty, 0.0)).unwrap();
+        assert!(mse < 1e-12, "got {mse}");
+    }
+
+    #[test]
+    fn kfold_validations() {
+        let (xs, ys) = linear_data(10);
+        assert!(kfold_mse(&xs, &ys, 1, |tx, ty| LinearModel::fit(tx, ty, 0.0)).is_err());
+        assert!(kfold_mse(&xs[..1], &ys[..1], 5, |tx, ty| LinearModel::fit(
+            tx, ty, 0.0
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn kfold_prefers_correct_model_family() {
+        // Quadratic data: linear on raw x underfits vs linear on [x, x²].
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let raw = kfold_mse(&xs, &ys, 5, |tx, ty| LinearModel::fit(tx, ty, 0.0)).unwrap();
+        let expanded: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0], x[0] * x[0]]).collect();
+        let quad = kfold_mse(&expanded, &ys, 5, |tx, ty| LinearModel::fit(tx, ty, 0.0)).unwrap();
+        assert!(quad < raw / 100.0, "quad {quad} raw {raw}");
+    }
+}

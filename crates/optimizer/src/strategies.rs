@@ -1,0 +1,304 @@
+//! Access-method selection (RT3-1/RT3-2): full-partition scan with
+//! node-side aggregation versus index-driven point fetches.
+//!
+//! This is the classic selectivity trade-off the optimizer must learn:
+//!
+//! * **ScanAggregate** — the coordinator–cohort scan: every candidate node
+//!   reads its (zone-map-pruned) partition sequentially and ships a
+//!   constant-size partial aggregate. Cost ≈ partition bytes, independent
+//!   of how many records match.
+//! * **IndexFetch** — a secondary grid index maps the selection to
+//!   candidate record ids; each candidate is fetched with a *random point
+//!   read* and shipped to the coordinator, which aggregates. Cost ≈
+//!   matches × point-read, independent of partition size.
+//!
+//! Narrow selections favour the index; wide ones favour the scan; the
+//! crossover moves with table size — exactly the structure a learned
+//! selector (RT3/G6) must capture.
+
+use sea_common::{AnalyticalQuery, CostMeter, CostModel, Record, RecordId, Rect, Result, SeaError};
+use sea_index::GridIndex;
+use sea_query::{Executor, QueryOutcome};
+use sea_storage::{StorageCluster, DIRECT_LAYERS};
+
+/// An execution strategy for analytical queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryStrategy {
+    /// Sequential pruned scan with node-side partial aggregation.
+    ScanAggregate,
+    /// Secondary-index lookup with per-record point fetches.
+    IndexFetch,
+}
+
+impl QueryStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [QueryStrategy; 2] = [QueryStrategy::ScanAggregate, QueryStrategy::IndexFetch];
+}
+
+/// The execution context the optimizer chooses within: the cluster, the
+/// table, and a pre-built secondary index.
+#[derive(Debug)]
+pub struct ExecutionEngines<'a> {
+    cluster: &'a StorageCluster,
+    table: String,
+    grid: GridIndex,
+    /// id → (record clone, node) — the base-data image the index points
+    /// into; fetches through it are charged as point reads.
+    by_id: std::collections::HashMap<RecordId, Record>,
+    record_bytes: u64,
+}
+
+impl<'a> ExecutionEngines<'a> {
+    /// Builds the secondary grid index over `table` (one offline pass).
+    ///
+    /// # Errors
+    ///
+    /// Missing table or invalid grid parameters.
+    pub fn build(
+        cluster: &'a StorageCluster,
+        table: &str,
+        domain: Rect,
+        cells_per_dim: usize,
+    ) -> Result<Self> {
+        let dims = cluster.dims(table)?;
+        SeaError::check_dims(dims, domain.dims())?;
+        let mut grid = GridIndex::new(domain, cells_per_dim)?;
+        let mut by_id = std::collections::HashMap::new();
+        for r in cluster.all_records(table)? {
+            grid.insert(r)?;
+            by_id.insert(r.id, r.clone());
+        }
+        Ok(ExecutionEngines {
+            cluster,
+            table: table.to_string(),
+            grid,
+            by_id,
+            record_bytes: 8 + 8 * dims as u64,
+        })
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &StorageCluster {
+        self.cluster
+    }
+
+    /// The table name.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Executes `query` with the chosen strategy.
+    ///
+    /// # Errors
+    ///
+    /// As the underlying strategy.
+    pub fn execute(
+        &self,
+        strategy: QueryStrategy,
+        query: &AnalyticalQuery,
+        cost_model: &CostModel,
+    ) -> Result<QueryOutcome> {
+        match strategy {
+            QueryStrategy::ScanAggregate => {
+                Executor::with_cost_model(self.cluster, cost_model.clone())
+                    .execute_direct(&self.table, query)
+            }
+            QueryStrategy::IndexFetch => self.index_fetch(query, cost_model),
+        }
+    }
+
+    /// Index-driven execution: candidate ids from overlapping grid cells,
+    /// one point read per candidate, aggregation at the coordinator.
+    fn index_fetch(&self, query: &AnalyticalQuery, cost_model: &CostModel) -> Result<QueryOutcome> {
+        query.aggregate.validate(self.grid.dims())?;
+        let bbox = query.region.bounding_rect();
+        let candidates = self.grid.candidates(&bbox)?;
+
+        // All point reads happen on the data nodes; model them as spread
+        // evenly and running in parallel across the cluster.
+        let nodes = self.cluster.num_nodes().max(1);
+        let per_node = candidates.len().div_ceil(nodes);
+        let mut node_meters = Vec::new();
+        for chunk in candidates.chunks(per_node.max(1)) {
+            let mut m = CostMeter::new();
+            m.touch_node(DIRECT_LAYERS);
+            for _ in chunk {
+                m.charge_point_read(self.record_bytes);
+            }
+            m.charge_lan(chunk.len() as u64 * self.record_bytes);
+            node_meters.push(m);
+        }
+
+        let mut coord = CostMeter::new();
+        coord.charge_cpu(candidates.len() as u64);
+        let matched: Vec<&Record> = candidates
+            .iter()
+            .filter_map(|id| self.by_id.get(id))
+            .filter(|r| query.region.contains_record(r))
+            .collect();
+        let answer = query.aggregate.compute(matched)?;
+        Ok(QueryOutcome {
+            answer,
+            cost: coord.report_parallel(node_meters.iter(), cost_model),
+        })
+    }
+
+    /// Ground-truth best strategy for one query (executes all strategies).
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecutionEngines::execute`].
+    pub fn oracle_choice(
+        &self,
+        query: &AnalyticalQuery,
+        cost_model: &CostModel,
+    ) -> Result<(QueryStrategy, f64)> {
+        let mut best: Option<(QueryStrategy, f64)> = None;
+        for s in QueryStrategy::ALL {
+            let out = self.execute(s, query, cost_model)?;
+            if best.is_none_or(|(_, c)| out.cost.wall_us < c) {
+                best = Some((s, out.cost.wall_us));
+            }
+        }
+        best.ok_or_else(|| SeaError::Empty("no strategies".into()))
+    }
+}
+
+/// Convenience free function mirroring [`ExecutionEngines::execute`].
+///
+/// # Errors
+///
+/// As [`ExecutionEngines::execute`].
+pub fn execute_with(
+    engines: &ExecutionEngines<'_>,
+    strategy: QueryStrategy,
+    query: &AnalyticalQuery,
+    cost_model: &CostModel,
+) -> Result<QueryOutcome> {
+    engines.execute(strategy, query, cost_model)
+}
+
+/// Convenience alias for index-fetch execution.
+///
+/// # Errors
+///
+/// As [`ExecutionEngines::execute`].
+pub fn fetch_records(
+    engines: &ExecutionEngines<'_>,
+    query: &AnalyticalQuery,
+    cost_model: &CostModel,
+) -> Result<QueryOutcome> {
+    engines.execute(QueryStrategy::IndexFetch, query, cost_model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_common::{AggregateKind, Point, Region};
+    use sea_storage::Partitioning;
+
+    fn cluster() -> StorageCluster {
+        let mut c = StorageCluster::new(4, 512);
+        let records: Vec<Record> = (0..40_000)
+            .map(|i| Record::new(i, vec![(i / 400) as f64, (i % 400) as f64]))
+            .collect();
+        c.load_table(
+            "t",
+            records,
+            Partitioning::Range {
+                dim: 0,
+                splits: Partitioning::equi_width_splits(0.0, 100.0, 4),
+            },
+        )
+        .unwrap();
+        c
+    }
+
+    fn engines(c: &StorageCluster) -> ExecutionEngines<'_> {
+        let domain = Rect::new(vec![0.0, 0.0], vec![100.0, 400.0]).unwrap();
+        ExecutionEngines::build(c, "t", domain, 100).unwrap()
+    }
+
+    fn count_query(cx: f64, e: f64) -> AnalyticalQuery {
+        AnalyticalQuery::new(
+            Region::Range(Rect::centered(&Point::new(vec![cx, 200.0]), &[e, 5.0 * e]).unwrap()),
+            AggregateKind::Count,
+        )
+    }
+
+    #[test]
+    fn strategies_agree_on_answers() {
+        let c = cluster();
+        let eng = engines(&c);
+        let model = CostModel::default();
+        for q in [count_query(50.0, 2.0), count_query(20.0, 30.0)] {
+            let scan = eng
+                .execute(QueryStrategy::ScanAggregate, &q, &model)
+                .unwrap();
+            let fetch = eng.execute(QueryStrategy::IndexFetch, &q, &model).unwrap();
+            assert_eq!(scan.answer, fetch.answer);
+        }
+    }
+
+    #[test]
+    fn index_wins_narrow_scan_wins_wide() {
+        let c = cluster();
+        let eng = engines(&c);
+        let model = CostModel::default();
+        let narrow = count_query(50.0, 0.5);
+        let (best_narrow, _) = eng.oracle_choice(&narrow, &model).unwrap();
+        assert_eq!(best_narrow, QueryStrategy::IndexFetch);
+
+        let wide = count_query(50.0, 50.0); // the whole table
+        let scan = eng
+            .execute(QueryStrategy::ScanAggregate, &wide, &model)
+            .unwrap();
+        let fetch = eng
+            .execute(QueryStrategy::IndexFetch, &wide, &model)
+            .unwrap();
+        assert!(
+            scan.cost.wall_us < fetch.cost.wall_us,
+            "wide selections favour the scan: scan {} fetch {}",
+            scan.cost.wall_us,
+            fetch.cost.wall_us
+        );
+    }
+
+    #[test]
+    fn crossover_exists_along_the_extent_sweep() {
+        let c = cluster();
+        let eng = engines(&c);
+        let model = CostModel::default();
+        let mut saw_fetch = false;
+        let mut saw_scan = false;
+        for e in [0.5, 2.0, 8.0, 20.0, 50.0] {
+            let (best, _) = eng.oracle_choice(&count_query(50.0, e), &model).unwrap();
+            match best {
+                QueryStrategy::IndexFetch => saw_fetch = true,
+                QueryStrategy::ScanAggregate => saw_scan = true,
+            }
+        }
+        assert!(saw_fetch && saw_scan, "both strategies win somewhere");
+    }
+
+    #[test]
+    fn fetch_errors_propagate() {
+        let c = cluster();
+        let eng = engines(&c);
+        let model = CostModel::default();
+        let empty_mean = AnalyticalQuery::new(
+            Region::Range(Rect::new(vec![-10.0, -10.0], vec![-5.0, -5.0]).unwrap()),
+            AggregateKind::Mean { dim: 0 },
+        );
+        assert!(fetch_records(&eng, &empty_mean, &model).is_err());
+    }
+
+    #[test]
+    fn build_validates() {
+        let c = cluster();
+        let bad_domain = Rect::new(vec![0.0], vec![1.0]).unwrap();
+        assert!(ExecutionEngines::build(&c, "t", bad_domain, 10).is_err());
+        let domain = Rect::new(vec![0.0, 0.0], vec![100.0, 400.0]).unwrap();
+        assert!(ExecutionEngines::build(&c, "missing", domain, 10).is_err());
+    }
+}

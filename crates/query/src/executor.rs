@@ -1,0 +1,494 @@
+//! The exact executor: BDAS-style and coordinator–cohort query processing.
+
+use sea_common::{
+    AggregateKind, AnalyticalQuery, AnswerValue, BivariateStats, CostMeter, CostModel, CostReport,
+    Record, Result,
+};
+use sea_storage::{StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
+
+/// The outcome of executing one analytical query: the exact answer plus
+/// the full resource bill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The (exact) answer.
+    pub answer: AnswerValue,
+    /// What it cost to produce.
+    pub cost: CostReport,
+}
+
+/// Per-node partial state shipped to the coordinator. Distributive and
+/// algebraic aggregates ship constant-size sufficient statistics; holistic
+/// aggregates (median/quantile) must ship the selected values themselves.
+#[derive(Debug, Clone)]
+enum Partial {
+    CountSum { count: u64, sum: f64, sum_sq: f64 },
+    MinMax { min: f64, max: f64 },
+    Bivariate(BivariateStats),
+    Values(Vec<f64>),
+}
+
+impl Partial {
+    /// Bytes this partial occupies on the wire.
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Partial::CountSum { .. } => 24,
+            Partial::MinMax { .. } => 16,
+            Partial::Bivariate(_) => 48,
+            Partial::Values(v) => 8 * v.len() as u64,
+        }
+    }
+}
+
+/// Stateless executor over a [`StorageCluster`].
+#[derive(Debug, Clone)]
+pub struct Executor<'a> {
+    cluster: &'a StorageCluster,
+    cost_model: CostModel,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor using the default [`CostModel`].
+    pub fn new(cluster: &'a StorageCluster) -> Self {
+        Executor {
+            cluster,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Creates an executor with an explicit cost model.
+    pub fn with_cost_model(cluster: &'a StorageCluster, cost_model: CostModel) -> Self {
+        Executor {
+            cluster,
+            cost_model,
+        }
+    }
+
+    /// The executor's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Executes `query` over `table` MapReduce-style: every node is
+    /// engaged through all BDAS layers, scans all of its blocks, filters,
+    /// computes a partial aggregate, and ships it over the LAN to a
+    /// coordinator that merges.
+    ///
+    /// # Errors
+    ///
+    /// Missing table, dimension mismatch, or aggregate errors (e.g. an
+    /// operator undefined on an empty selection).
+    pub fn execute_bdas(&self, table: &str, query: &AnalyticalQuery) -> Result<QueryOutcome> {
+        query.aggregate.validate(self.cluster.dims(table)?)?;
+        let mut node_meters = Vec::with_capacity(self.cluster.num_nodes());
+        let mut partials = Vec::with_capacity(self.cluster.num_nodes());
+        for node in 0..self.cluster.num_nodes() {
+            let mut meter = CostMeter::new();
+            meter.touch_node(BDAS_LAYERS);
+            let records = self.cluster.scan_node(table, node, &mut meter)?;
+            let matched: Vec<&Record> = records
+                .into_iter()
+                .filter(|r| query.region.contains_record(r))
+                .collect();
+            let partial = make_partial(&query.aggregate, &matched);
+            meter.charge_lan(partial.wire_bytes());
+            partials.push(partial);
+            node_meters.push(meter);
+        }
+        let mut coord = CostMeter::new();
+        coord.charge_cpu(partials.len() as u64);
+        let answer = merge_partials(&query.aggregate, partials)?;
+        let cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
+        Ok(QueryOutcome { answer, cost })
+    }
+
+    /// Executes `query` over `table` in the coordinator–cohort regime:
+    /// partition pruning picks the candidate nodes, block zone maps prune
+    /// within each node, only matching records are aggregated, and each
+    /// engaged node pays a single layer crossing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::execute_bdas`].
+    pub fn execute_direct(&self, table: &str, query: &AnalyticalQuery) -> Result<QueryOutcome> {
+        query.aggregate.validate(self.cluster.dims(table)?)?;
+        let bbox = query.region.bounding_rect();
+        let candidates = self.cluster.nodes_for_region(table, &bbox)?;
+        let mut coord = CostMeter::new();
+        // One request message per engaged node.
+        let mut node_meters = Vec::with_capacity(candidates.len());
+        let mut partials = Vec::with_capacity(candidates.len());
+        for node in candidates {
+            coord.charge_lan(64);
+            let mut meter = CostMeter::new();
+            meter.touch_node(DIRECT_LAYERS);
+            let in_bbox = self
+                .cluster
+                .scan_node_region(table, node, &bbox, &mut meter)?;
+            let matched: Vec<&Record> = in_bbox
+                .into_iter()
+                .filter(|r| query.region.contains_record(r))
+                .collect();
+            let partial = make_partial(&query.aggregate, &matched);
+            meter.charge_lan(partial.wire_bytes());
+            partials.push(partial);
+            node_meters.push(meter);
+        }
+        coord.charge_cpu(partials.len() as u64);
+        let answer = merge_partials(&query.aggregate, partials)?;
+        let cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
+        Ok(QueryOutcome { answer, cost })
+    }
+}
+
+fn make_partial(agg: &AggregateKind, matched: &[&Record]) -> Partial {
+    match *agg {
+        AggregateKind::Count => Partial::CountSum {
+            count: matched.len() as u64,
+            sum: 0.0,
+            sum_sq: 0.0,
+        },
+        AggregateKind::Sum { dim }
+        | AggregateKind::Mean { dim }
+        | AggregateKind::Variance { dim } => {
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for r in matched {
+                let v = r.value(dim);
+                sum += v;
+                sum_sq += v * v;
+            }
+            Partial::CountSum {
+                count: matched.len() as u64,
+                sum,
+                sum_sq,
+            }
+        }
+        AggregateKind::Min { dim } | AggregateKind::Max { dim } => {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for r in matched {
+                let v = r.value(dim);
+                min = min.min(v);
+                max = max.max(v);
+            }
+            Partial::MinMax { min, max }
+        }
+        AggregateKind::Median { dim } | AggregateKind::Quantile { dim, .. } => {
+            Partial::Values(matched.iter().map(|r| r.value(dim)).collect())
+        }
+        AggregateKind::Correlation { x, y } | AggregateKind::Regression { x, y } => {
+            Partial::Bivariate(BivariateStats::from_records(matched.iter().copied(), x, y))
+        }
+        // `AggregateKind` is non_exhaustive; future variants ship raw
+        // values so `merge_partials` can reject them explicitly.
+        _ => Partial::Values(Vec::new()),
+    }
+}
+
+fn merge_partials(agg: &AggregateKind, partials: Vec<Partial>) -> Result<AnswerValue> {
+    use sea_common::SeaError;
+    match *agg {
+        AggregateKind::Count => {
+            let total: u64 = partials.iter().map(count_of).sum();
+            Ok(AnswerValue::Scalar(total as f64))
+        }
+        AggregateKind::Sum { .. } => {
+            let total: f64 = partials.iter().map(sum_of).sum();
+            Ok(AnswerValue::Scalar(total))
+        }
+        AggregateKind::Mean { .. } => {
+            let n: u64 = partials.iter().map(count_of).sum();
+            if n == 0 {
+                return Err(SeaError::Empty("mean over empty subspace".into()));
+            }
+            let s: f64 = partials.iter().map(sum_of).sum();
+            Ok(AnswerValue::Scalar(s / n as f64))
+        }
+        AggregateKind::Variance { .. } => {
+            let n: u64 = partials.iter().map(count_of).sum();
+            if n == 0 {
+                return Err(SeaError::Empty("variance over empty subspace".into()));
+            }
+            let s: f64 = partials.iter().map(sum_of).sum();
+            let sq: f64 = partials
+                .iter()
+                .map(|p| match p {
+                    Partial::CountSum { sum_sq, .. } => *sum_sq,
+                    _ => 0.0,
+                })
+                .sum();
+            Ok(AnswerValue::Scalar(sq / n as f64 - (s / n as f64).powi(2)))
+        }
+        AggregateKind::Min { .. } => {
+            let m = partials
+                .iter()
+                .filter_map(|p| match p {
+                    Partial::MinMax { min, .. } if min.is_finite() => Some(*min),
+                    _ => None,
+                })
+                .fold(f64::INFINITY, f64::min);
+            if m.is_finite() {
+                Ok(AnswerValue::Scalar(m))
+            } else {
+                Err(SeaError::Empty("min over empty subspace".into()))
+            }
+        }
+        AggregateKind::Max { .. } => {
+            let m = partials
+                .iter()
+                .filter_map(|p| match p {
+                    Partial::MinMax { max, .. } if max.is_finite() => Some(*max),
+                    _ => None,
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            if m.is_finite() {
+                Ok(AnswerValue::Scalar(m))
+            } else {
+                Err(SeaError::Empty("max over empty subspace".into()))
+            }
+        }
+        AggregateKind::Median { .. } => merge_quantile(partials, 0.5),
+        AggregateKind::Quantile { q, .. } => merge_quantile(partials, q),
+        AggregateKind::Correlation { .. } => {
+            let mut stats = BivariateStats::default();
+            for p in &partials {
+                if let Partial::Bivariate(b) = p {
+                    stats.merge(b);
+                }
+            }
+            stats.correlation().map(AnswerValue::Scalar)
+        }
+        AggregateKind::Regression { .. } => {
+            let mut stats = BivariateStats::default();
+            for p in &partials {
+                if let Partial::Bivariate(b) = p {
+                    stats.merge(b);
+                }
+            }
+            let (slope, intercept) = stats.ols_line()?;
+            Ok(AnswerValue::Pair(slope, intercept))
+        }
+        _ => Err(SeaError::invalid("aggregate not supported by the executor")),
+    }
+}
+
+fn count_of(p: &Partial) -> u64 {
+    match p {
+        Partial::CountSum { count, .. } => *count,
+        _ => 0,
+    }
+}
+
+fn sum_of(p: &Partial) -> f64 {
+    match p {
+        Partial::CountSum { sum, .. } => *sum,
+        _ => 0.0,
+    }
+}
+
+fn merge_quantile(partials: Vec<Partial>, q: f64) -> Result<AnswerValue> {
+    use sea_common::SeaError;
+    let mut values: Vec<f64> = partials
+        .into_iter()
+        .flat_map(|p| match p {
+            Partial::Values(v) => v,
+            _ => Vec::new(),
+        })
+        .collect();
+    if values.is_empty() {
+        return Err(SeaError::Empty("quantile over empty subspace".into()));
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pos = q * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    Ok(AnswerValue::Scalar(
+        values[lo] + (values[hi] - values[lo]) * (pos - lo as f64),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_common::{Ball, Point, Rect, Region, SeaError};
+    use sea_storage::Partitioning;
+
+    fn cluster() -> StorageCluster {
+        let mut c = StorageCluster::new(4, 64);
+        let records: Vec<Record> = (0..2000)
+            .map(|i| Record::new(i, vec![(i % 100) as f64, (i / 100) as f64, (i % 7) as f64]))
+            .collect();
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        let records2: Vec<Record> = (0..2000)
+            .map(|i| Record::new(i, vec![(i % 100) as f64, (i / 100) as f64, (i % 7) as f64]))
+            .collect();
+        c.load_table(
+            "t_range",
+            records2,
+            Partitioning::Range {
+                dim: 0,
+                splits: Partitioning::equi_width_splits(0.0, 100.0, 4),
+            },
+        )
+        .unwrap();
+        c
+    }
+
+    fn count_query(lo: Vec<f64>, hi: Vec<f64>) -> AnalyticalQuery {
+        AnalyticalQuery::new(
+            Region::Range(Rect::new(lo, hi).unwrap()),
+            AggregateKind::Count,
+        )
+    }
+
+    fn oracle(c: &StorageCluster, table: &str, q: &AnalyticalQuery) -> AnswerValue {
+        let all: Vec<Record> = c.all_records(table).unwrap().into_iter().cloned().collect();
+        q.answer_exact(&all).unwrap()
+    }
+
+    #[test]
+    fn bdas_and_direct_agree_with_oracle_on_all_aggregates() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let region = Region::Range(Rect::new(vec![10.0, 0.0, 0.0], vec![60.0, 15.0, 6.0]).unwrap());
+        let aggregates = vec![
+            AggregateKind::Count,
+            AggregateKind::Sum { dim: 1 },
+            AggregateKind::Mean { dim: 1 },
+            AggregateKind::Variance { dim: 2 },
+            AggregateKind::Min { dim: 0 },
+            AggregateKind::Max { dim: 1 },
+            AggregateKind::Median { dim: 0 },
+            AggregateKind::Quantile { dim: 0, q: 0.25 },
+            AggregateKind::Correlation { x: 0, y: 2 },
+            AggregateKind::Regression { x: 0, y: 1 },
+        ];
+        for agg in aggregates {
+            let q = AnalyticalQuery::new(region.clone(), agg);
+            let want = oracle(&c, "t", &q);
+            let bdas = exec.execute_bdas("t", &q).unwrap();
+            let direct = exec.execute_direct("t", &q).unwrap();
+            assert!(
+                bdas.answer.relative_error(&want) < 1e-9,
+                "bdas {agg:?}: {:?} vs {want:?}",
+                bdas.answer
+            );
+            assert!(
+                direct.answer.relative_error(&want) < 1e-9,
+                "direct {agg:?}: {:?} vs {want:?}",
+                direct.answer
+            );
+        }
+    }
+
+    #[test]
+    fn radius_queries_agree() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let q = AnalyticalQuery::new(
+            Region::Radius(Ball::new(Point::new(vec![50.0, 10.0, 3.0]), 8.0).unwrap()),
+            AggregateKind::Count,
+        );
+        let want = oracle(&c, "t", &q);
+        assert_eq!(exec.execute_bdas("t", &q).unwrap().answer, want);
+        assert_eq!(exec.execute_direct("t", &q).unwrap().answer, want);
+    }
+
+    #[test]
+    fn direct_is_cheaper_than_bdas() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let q = count_query(vec![10.0, 0.0, 0.0], vec![20.0, 5.0, 6.0]);
+        let bdas = exec.execute_bdas("t", &q).unwrap();
+        let direct = exec.execute_direct("t", &q).unwrap();
+        assert!(
+            direct.cost.wall_us < bdas.cost.wall_us,
+            "direct {} vs bdas {}",
+            direct.cost.wall_us,
+            bdas.cost.wall_us
+        );
+        assert!(direct.cost.totals.disk_bytes < bdas.cost.totals.disk_bytes);
+        assert!(direct.cost.totals.layer_crossings < bdas.cost.totals.layer_crossings);
+    }
+
+    #[test]
+    fn direct_on_range_partitioning_touches_fewer_nodes() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let q = count_query(vec![10.0, 0.0, 0.0], vec![20.0, 1e9, 6.0]);
+        let hash = exec.execute_direct("t", &q).unwrap();
+        let ranged = exec.execute_direct("t_range", &q).unwrap();
+        assert_eq!(hash.answer, ranged.answer);
+        assert!(ranged.cost.totals.nodes_touched < hash.cost.totals.nodes_touched);
+        assert_eq!(ranged.cost.totals.nodes_touched, 1);
+    }
+
+    #[test]
+    fn bdas_engages_every_node() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let q = count_query(vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]);
+        let out = exec.execute_bdas("t", &q).unwrap();
+        assert_eq!(out.cost.totals.nodes_touched, 4);
+        assert_eq!(out.cost.totals.layer_crossings, 4 * BDAS_LAYERS);
+    }
+
+    #[test]
+    fn empty_selection_semantics() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let nowhere = count_query(vec![-10.0, -10.0, -10.0], vec![-5.0, -5.0, -5.0]);
+        assert_eq!(
+            exec.execute_bdas("t", &nowhere).unwrap().answer,
+            AnswerValue::Scalar(0.0)
+        );
+        let mean_nowhere =
+            AnalyticalQuery::new(nowhere.region.clone(), AggregateKind::Mean { dim: 0 });
+        assert!(matches!(
+            exec.execute_direct("t", &mean_nowhere),
+            Err(SeaError::Empty(_))
+        ));
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let q = count_query(vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]);
+        assert!(matches!(
+            exec.execute_bdas("missing", &q),
+            Err(SeaError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_aggregate_dim_is_an_error() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let q = AnalyticalQuery::new(
+            Region::Range(Rect::new(vec![0.0; 3], vec![1.0; 3]).unwrap()),
+            AggregateKind::Mean { dim: 9 },
+        );
+        assert!(exec.execute_bdas("t", &q).is_err());
+        assert!(exec.execute_direct("t", &q).is_err());
+    }
+
+    #[test]
+    fn holistic_aggregates_ship_values() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let big = AnalyticalQuery::new(
+            Region::Range(Rect::new(vec![0.0; 3], vec![100.0, 20.0, 6.0]).unwrap()),
+            AggregateKind::Median { dim: 0 },
+        );
+        let small = AnalyticalQuery::new(big.region.clone(), AggregateKind::Count);
+        let big_out = exec.execute_bdas("t", &big).unwrap();
+        let small_out = exec.execute_bdas("t", &small).unwrap();
+        assert!(
+            big_out.cost.totals.lan_bytes > small_out.cost.totals.lan_bytes * 10,
+            "median ships values: {} vs {}",
+            big_out.cost.totals.lan_bytes,
+            small_out.cost.totals.lan_bytes
+        );
+    }
+}

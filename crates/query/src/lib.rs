@@ -1,0 +1,25 @@
+//! # sea-query
+//!
+//! The exact analytical-query executor over the simulated distributed
+//! storage substrate, in both of the paper's processing regimes:
+//!
+//! * [`Executor::execute_bdas`] — MapReduce-style processing "across a
+//!   (potentially) large number of data nodes" through the full BDAS layer
+//!   stack (Fig 1): every node is engaged, every block read.
+//! * [`Executor::execute_direct`] — coordinator–cohort processing (RT3-2):
+//!   a coordinator consults partition metadata and block zone maps,
+//!   engages only the nodes/blocks the selection can touch, and pays only
+//!   one layer crossing per engaged node.
+//!
+//! Both return the identical exact answer; what differs is the
+//! [`sea_common::CostReport`]. That difference — measured, not asserted —
+//! is the substance of experiments E1, E7 and E9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adhoc;
+pub mod executor;
+
+pub use adhoc::{classify_subspace, cluster_subspace, regress_subspace, AdHocOutcome};
+pub use executor::{Executor, QueryOutcome};

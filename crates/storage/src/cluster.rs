@@ -1,0 +1,676 @@
+//! The simulated storage cluster: tables partitioned across data nodes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sea_common::{CostMeter, Record, Rect, Result, SeaError};
+
+use crate::node::DataNode;
+use crate::partition::{NodeId, Partitioning};
+
+/// One entry of a table's block catalog: `(node, block index, bounds,
+/// bytes, record count)` — the in-memory metadata index structures build
+/// from.
+pub type BlockCatalogEntry = (NodeId, usize, Rect, u64, usize);
+
+/// Summary statistics of a stored table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Total number of records.
+    pub records: usize,
+    /// Total stored bytes.
+    pub bytes: u64,
+    /// Number of dimensions/attributes.
+    pub dims: usize,
+    /// Records per node.
+    pub per_node: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TableMeta {
+    dims: usize,
+    partitioning: Partitioning,
+    /// Per-node primary storage for this table.
+    nodes: Vec<DataNode>,
+    /// Chained replicas when the cluster runs with replication factor 2:
+    /// `replicas[i]` is a copy of node `(i − 1) mod n`'s partition, stored
+    /// on node `i`.
+    replicas: Option<Vec<DataNode>>,
+}
+
+/// A simulated cluster of data-server nodes holding partitioned tables.
+///
+/// All read paths take an explicit [`CostMeter`] (usually one per simulated
+/// node, combined with
+/// [`CostMeter::report_parallel`](sea_common::CostMeter::report_parallel))
+/// so callers decide the parallelism semantics.
+///
+/// # Examples
+///
+/// ```
+/// use sea_common::{CostMeter, Record};
+/// use sea_storage::{Partitioning, StorageCluster};
+///
+/// let mut cluster = StorageCluster::new(4, 100);
+/// let records: Vec<Record> = (0..1000)
+///     .map(|i| Record::new(i, vec![i as f64, (i % 10) as f64]))
+///     .collect();
+/// cluster.load_table("t", records, Partitioning::Hash).unwrap();
+/// assert_eq!(cluster.stats("t").unwrap().records, 1000);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StorageCluster {
+    n_nodes: usize,
+    block_size: usize,
+    replication: usize,
+    /// Per-node liveness; failed nodes answer no reads and their
+    /// partitions are served by the next node's replica (when present).
+    down: Vec<bool>,
+    tables: HashMap<String, TableMeta>,
+}
+
+impl StorageCluster {
+    /// Creates a cluster of `n_nodes` nodes storing blocks of at most
+    /// `block_size` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    pub fn new(n_nodes: usize, block_size: usize) -> Self {
+        assert!(n_nodes > 0, "cluster needs at least one node");
+        StorageCluster {
+            n_nodes,
+            block_size: block_size.max(1),
+            replication: 1,
+            down: vec![false; n_nodes],
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Creates a cluster with chained replication (factor 2): node `i`
+    /// additionally stores a copy of node `i − 1`'s partitions, so any
+    /// single node failure leaves every partition readable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes < 2` (replication needs a distinct peer).
+    pub fn with_replication(n_nodes: usize, block_size: usize) -> Self {
+        assert!(n_nodes >= 2, "replication needs at least two nodes");
+        StorageCluster {
+            n_nodes,
+            block_size: block_size.max(1),
+            replication: 2,
+            down: vec![false; n_nodes],
+            tables: HashMap::new(),
+        }
+    }
+
+    /// The cluster's replication factor (1 = no replicas).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Marks node `node` as failed: reads of its partitions either fail
+    /// (replication 1) or are served by the replica on the next node.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range node id.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<()> {
+        if node >= self.n_nodes {
+            return Err(SeaError::Storage(format!("node {node} out of range")));
+        }
+        self.down[node] = true;
+        Ok(())
+    }
+
+    /// Brings a failed node back (its stored state was retained).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range node id.
+    pub fn restore_node(&mut self, node: NodeId) -> Result<()> {
+        if node >= self.n_nodes {
+            return Err(SeaError::Storage(format!("node {node} out of range")));
+        }
+        self.down[node] = false;
+        Ok(())
+    }
+
+    /// Whether `node` is currently failed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down.get(node).copied().unwrap_or(false)
+    }
+
+    /// Number of data nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Block size in records.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Names of stored tables (unordered).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Creates and loads a table, distributing records per `partitioning`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the table already exists, `records` is empty,
+    /// or records disagree in dimensionality.
+    pub fn load_table(
+        &mut self,
+        name: &str,
+        records: Vec<Record>,
+        partitioning: Partitioning,
+    ) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(SeaError::invalid(format!("table {name} already exists")));
+        }
+        let Some(first) = records.first() else {
+            return Err(SeaError::Empty(format!("no records for table {name}")));
+        };
+        let dims = first.dims();
+        for r in &records {
+            SeaError::check_dims(dims, r.dims())?;
+        }
+        let mut per_node: Vec<Vec<Record>> = vec![Vec::new(); self.n_nodes];
+        for r in records {
+            let node = partitioning.node_for(&r, self.n_nodes);
+            per_node[node].push(r);
+        }
+        let mut nodes = Vec::with_capacity(self.n_nodes);
+        for batch in per_node {
+            let mut node = DataNode::new();
+            node.append(batch, self.block_size);
+            nodes.push(node);
+        }
+        let replicas = (self.replication >= 2).then(|| {
+            (0..self.n_nodes)
+                .map(|i| nodes[(i + self.n_nodes - 1) % self.n_nodes].clone())
+                .collect()
+        });
+        self.tables.insert(
+            name.to_string(),
+            TableMeta {
+                dims,
+                partitioning,
+                nodes,
+                replicas,
+            },
+        );
+        Ok(())
+    }
+
+    /// Drops a table.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NotFound`] when the table does not exist.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| SeaError::NotFound(format!("table {name}")))
+    }
+
+    fn meta(&self, name: &str) -> Result<&TableMeta> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SeaError::NotFound(format!("table {name}")))
+    }
+
+    fn meta_mut(&mut self, name: &str) -> Result<&mut TableMeta> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| SeaError::NotFound(format!("table {name}")))
+    }
+
+    /// Table summary statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NotFound`] when the table does not exist.
+    pub fn stats(&self, name: &str) -> Result<TableStats> {
+        let meta = self.meta(name)?;
+        Ok(TableStats {
+            records: meta.nodes.iter().map(DataNode::len).sum(),
+            bytes: meta.nodes.iter().map(DataNode::bytes).sum(),
+            dims: meta.dims,
+            per_node: meta.nodes.iter().map(DataNode::len).collect(),
+        })
+    }
+
+    /// Dimensionality of a table.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NotFound`] when the table does not exist.
+    pub fn dims(&self, name: &str) -> Result<usize> {
+        Ok(self.meta(name)?.dims)
+    }
+
+    /// The nodes that may hold records of `name` inside `region` under the
+    /// table's partitioning (partition pruning).
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NotFound`] when the table does not exist.
+    pub fn nodes_for_region(&self, name: &str, region: &Rect) -> Result<Vec<NodeId>> {
+        let meta = self.meta(name)?;
+        Ok(meta.partitioning.nodes_for_region(region, self.n_nodes))
+    }
+
+    /// Full scan of table `name` on node `node`, charging `meter` for disk
+    /// and CPU (layer crossings are charged by the caller, which knows its
+    /// access path).
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NotFound`] for missing table, [`SeaError::Storage`] for
+    /// an out-of-range node id.
+    pub fn scan_node<'a>(
+        &'a self,
+        name: &str,
+        node: NodeId,
+        meter: &mut CostMeter,
+    ) -> Result<Vec<&'a Record>> {
+        let meta = self.meta(name)?;
+        let n = self.serving_copy(meta, node)?;
+        Ok(n.scan_all(meter))
+    }
+
+    /// The [`DataNode`] that can serve partition `node`'s data right now:
+    /// the primary when it is up, otherwise the chained replica on node
+    /// `node + 1` (when replication is on and that node is up).
+    fn serving_copy<'a>(&'a self, meta: &'a TableMeta, node: NodeId) -> Result<&'a DataNode> {
+        if node >= self.n_nodes {
+            return Err(SeaError::Storage(format!("node {node} out of range")));
+        }
+        if !self.down[node] {
+            return Ok(&meta.nodes[node]);
+        }
+        if let Some(replicas) = &meta.replicas {
+            let holder = (node + 1) % self.n_nodes;
+            if !self.down[holder] {
+                return Ok(&replicas[holder]);
+            }
+        }
+        Err(SeaError::Storage(format!(
+            "partition {node} unavailable: node down and no live replica"
+        )))
+    }
+
+    /// Block-pruned scan of table `name` on node `node`, returning only
+    /// records inside `region` and charging `meter` only for blocks whose
+    /// zone map intersects `region`.
+    ///
+    /// # Errors
+    ///
+    /// As [`StorageCluster::scan_node`], plus a dimension mismatch when the
+    /// region's dimensionality differs from the table's.
+    pub fn scan_node_region<'a>(
+        &'a self,
+        name: &str,
+        node: NodeId,
+        region: &Rect,
+        meter: &mut CostMeter,
+    ) -> Result<Vec<&'a Record>> {
+        let meta = self.meta(name)?;
+        SeaError::check_dims(meta.dims, region.dims())?;
+        let n = self.serving_copy(meta, node)?;
+        Ok(n.scan_region(region, meter))
+    }
+
+    /// Inserts additional records into an existing table (appended as new
+    /// blocks on their partition's node).
+    ///
+    /// # Errors
+    ///
+    /// Missing table or dimension mismatch.
+    pub fn insert(&mut self, name: &str, records: Vec<Record>) -> Result<()> {
+        let n_nodes = self.n_nodes;
+        let block_size = self.block_size;
+        let meta = self.meta_mut(name)?;
+        let dims = meta.dims;
+        for r in &records {
+            SeaError::check_dims(dims, r.dims())?;
+        }
+        let mut per_node: Vec<Vec<Record>> = vec![Vec::new(); n_nodes];
+        for r in records {
+            per_node[meta.partitioning.node_for(&r, n_nodes)].push(r);
+        }
+        for (node, batch) in meta.nodes.iter_mut().zip(per_node.clone()) {
+            if !batch.is_empty() {
+                node.append(batch, block_size);
+            }
+        }
+        if let Some(replicas) = &mut meta.replicas {
+            for (i, replica) in replicas.iter_mut().enumerate() {
+                let src = (i + n_nodes - 1) % n_nodes;
+                if !per_node[src].is_empty() {
+                    replica.append(per_node[src].clone(), block_size);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes all records of `name` inside `region`. Returns how many
+    /// records were removed.
+    ///
+    /// # Errors
+    ///
+    /// Missing table or dimension mismatch.
+    pub fn delete_region(&mut self, name: &str, region: &Rect) -> Result<usize> {
+        let meta = self.meta_mut(name)?;
+        SeaError::check_dims(meta.dims, region.dims())?;
+        let in_region = |r: &Record| {
+            r.values
+                .iter()
+                .enumerate()
+                .all(|(d, &v)| region.lo()[d] <= v && v <= region.hi()[d])
+        };
+        let mut removed = 0;
+        for node in &mut meta.nodes {
+            removed += node.delete_where(in_region);
+        }
+        if let Some(replicas) = &mut meta.replicas {
+            for replica in replicas.iter_mut() {
+                replica.delete_where(in_region);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Direct (test/oracle) access to every record of a table, without any
+    /// cost accounting. Ground-truth computations use this; engines must
+    /// not.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NotFound`] when the table does not exist.
+    pub fn all_records(&self, name: &str) -> Result<Vec<&Record>> {
+        let meta = self.meta(name)?;
+        let mut out = Vec::new();
+        for n in &meta.nodes {
+            for b in n.blocks() {
+                out.extend(b.records().iter());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-node block metadata (bounds and sizes) for index construction:
+    /// `(node, block_index, bounds, bytes, records)` for every non-empty
+    /// block. Reading this catalog is free — it models the metadata a
+    /// storage engine keeps in memory.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NotFound`] when the table does not exist.
+    pub fn block_catalog(&self, name: &str) -> Result<Vec<BlockCatalogEntry>> {
+        let meta = self.meta(name)?;
+        let mut out = Vec::new();
+        for (node_id, n) in meta.nodes.iter().enumerate() {
+            for (block_idx, b) in n.blocks().iter().enumerate() {
+                if let Some(bounds) = b.bounds() {
+                    out.push((node_id, block_idx, bounds.clone(), b.bytes(), b.len()));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(i as u64, vec![i as f64 % 100.0, i as f64]))
+            .collect()
+    }
+
+    fn loaded_cluster() -> StorageCluster {
+        let mut c = StorageCluster::new(4, 50);
+        c.load_table("t", sample_records(1000), Partitioning::Hash)
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn load_and_stats() {
+        let c = loaded_cluster();
+        let s = c.stats("t").unwrap();
+        assert_eq!(s.records, 1000);
+        assert_eq!(s.dims, 2);
+        assert_eq!(s.per_node.iter().sum::<usize>(), 1000);
+        assert!(
+            s.per_node.iter().all(|&n| n > 150),
+            "hash balance: {:?}",
+            s.per_node
+        );
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = loaded_cluster();
+        assert!(matches!(
+            c.load_table("t", sample_records(10), Partitioning::Hash),
+            Err(SeaError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn empty_load_rejected() {
+        let mut c = StorageCluster::new(2, 10);
+        assert!(matches!(
+            c.load_table("e", vec![], Partitioning::Hash),
+            Err(SeaError::Empty(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_dims_rejected() {
+        let mut c = StorageCluster::new(2, 10);
+        let recs = vec![Record::new(0, vec![1.0]), Record::new(1, vec![1.0, 2.0])];
+        assert!(c.load_table("m", recs, Partitioning::Hash).is_err());
+    }
+
+    #[test]
+    fn scan_all_nodes_reads_everything() {
+        let c = loaded_cluster();
+        let mut total = 0;
+        for node in 0..c.num_nodes() {
+            let mut meter = CostMeter::new();
+            total += c.scan_node("t", node, &mut meter).unwrap().len();
+            assert!(meter.disk_bytes > 0);
+        }
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn range_partitioning_prunes_and_finds() {
+        let mut c = StorageCluster::new(4, 50);
+        let splits = Partitioning::equi_width_splits(0.0, 100.0, 4);
+        c.load_table(
+            "r",
+            sample_records(1000),
+            Partitioning::Range { dim: 0, splits },
+        )
+        .unwrap();
+        let region = Rect::new(vec![10.0, 0.0], vec![20.0, 1e9]).unwrap();
+        let nodes = c.nodes_for_region("r", &region).unwrap();
+        assert_eq!(nodes, vec![0], "10..20 lives on node 0");
+        let mut meter = CostMeter::new();
+        let hits = c.scan_node_region("r", 0, &region, &mut meter).unwrap();
+        // dim0 = i % 100 in [10, 20] → 11 values × 10 repetitions
+        assert_eq!(hits.len(), 110);
+    }
+
+    #[test]
+    fn insert_then_scan_sees_new_records() {
+        let mut c = loaded_cluster();
+        c.insert(
+            "t",
+            vec![
+                Record::new(5000, vec![1.0, 2.0]),
+                Record::new(5001, vec![3.0, 4.0]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.stats("t").unwrap().records, 1002);
+        assert!(c.insert("nope", vec![]).is_err());
+        assert!(c.insert("t", vec![Record::new(9, vec![1.0])]).is_err());
+    }
+
+    #[test]
+    fn delete_region_removes_matching() {
+        let mut c = loaded_cluster();
+        let region = Rect::new(vec![0.0, 0.0], vec![100.0, 49.0]).unwrap();
+        let removed = c.delete_region("t", &region).unwrap();
+        assert_eq!(removed, 50, "records with second attr 0..=49");
+        assert_eq!(c.stats("t").unwrap().records, 950);
+    }
+
+    #[test]
+    fn block_catalog_covers_all_records() {
+        let c = loaded_cluster();
+        let catalog = c.block_catalog("t").unwrap();
+        let total: usize = catalog.iter().map(|(_, _, _, _, n)| *n).sum();
+        assert_eq!(total, 1000);
+        assert!(catalog.iter().all(|(node, ..)| *node < 4));
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut c = loaded_cluster();
+        c.drop_table("t").unwrap();
+        assert!(matches!(c.stats("t"), Err(SeaError::NotFound(_))));
+        assert!(c.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn all_records_is_cost_free_oracle() {
+        let c = loaded_cluster();
+        assert_eq!(c.all_records("t").unwrap().len(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod replication_tests {
+    use super::*;
+
+    fn replicated_cluster() -> StorageCluster {
+        let mut c = StorageCluster::with_replication(4, 50);
+        let records: Vec<Record> = (0..1000)
+            .map(|i| Record::new(i as u64, vec![i as f64 % 100.0, i as f64]))
+            .collect();
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        c
+    }
+
+    fn total_scanned(c: &StorageCluster) -> usize {
+        (0..c.num_nodes())
+            .map(|n| {
+                let mut m = CostMeter::new();
+                c.scan_node("t", n, &mut m).map(|v| v.len()).unwrap_or(0)
+            })
+            .sum()
+    }
+
+    #[test]
+    fn replicated_reads_survive_single_failure() {
+        let mut c = replicated_cluster();
+        assert_eq!(total_scanned(&c), 1000);
+        c.fail_node(2).unwrap();
+        assert!(c.is_down(2));
+        // Partition 2 is served by the replica on node 3.
+        assert_eq!(total_scanned(&c), 1000, "no records lost");
+        c.restore_node(2).unwrap();
+        assert!(!c.is_down(2));
+    }
+
+    #[test]
+    fn unreplicated_cluster_loses_partition_on_failure() {
+        let mut c = StorageCluster::new(4, 50);
+        let records: Vec<Record> = (0..100)
+            .map(|i| Record::new(i as u64, vec![i as f64]))
+            .collect();
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        c.fail_node(1).unwrap();
+        let mut m = CostMeter::new();
+        assert!(matches!(
+            c.scan_node("t", 1, &mut m),
+            Err(SeaError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn double_failure_of_adjacent_nodes_loses_data() {
+        let mut c = replicated_cluster();
+        c.fail_node(2).unwrap();
+        c.fail_node(3).unwrap(); // node 3 held node 2's replica
+        let mut m = CostMeter::new();
+        assert!(c.scan_node("t", 2, &mut m).is_err());
+        // Non-adjacent partitions are still fine.
+        assert!(c.scan_node("t", 0, &mut m).is_ok());
+    }
+
+    #[test]
+    fn inserts_and_deletes_propagate_to_replicas() {
+        let mut c = replicated_cluster();
+        c.insert("t", vec![Record::new(5000, vec![5.0, 5.0])])
+            .unwrap();
+        let removed = c
+            .delete_region("t", &Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]).unwrap())
+            .unwrap();
+        assert!(removed > 0);
+        // Fail each node in turn: replica contents must match the
+        // post-update state (insert visible, deletes applied).
+        let baseline = total_scanned(&c);
+        for node in 0..4 {
+            c.fail_node(node).unwrap();
+            assert_eq!(total_scanned(&c), baseline, "node {node} failover");
+            c.restore_node(node).unwrap();
+        }
+    }
+
+    #[test]
+    fn region_scans_work_through_replicas() {
+        let mut c = replicated_cluster();
+        let region = Rect::new(vec![10.0, 0.0], vec![20.0, 1e9]).unwrap();
+        let count_before: usize = (0..4)
+            .map(|n| {
+                let mut m = CostMeter::new();
+                c.scan_node_region("t", n, &region, &mut m).unwrap().len()
+            })
+            .sum();
+        c.fail_node(0).unwrap();
+        let count_after: usize = (0..4)
+            .map(|n| {
+                let mut m = CostMeter::new();
+                c.scan_node_region("t", n, &region, &mut m).unwrap().len()
+            })
+            .sum();
+        assert_eq!(count_before, count_after);
+    }
+
+    #[test]
+    fn fail_validation() {
+        let mut c = replicated_cluster();
+        assert!(c.fail_node(99).is_err());
+        assert!(c.restore_node(99).is_err());
+        assert!(!c.is_down(99));
+        assert_eq!(c.replication(), 2);
+        assert_eq!(StorageCluster::new(2, 10).replication(), 1);
+    }
+}

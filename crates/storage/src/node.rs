@@ -1,0 +1,287 @@
+//! A single simulated data-server node.
+
+use serde::{Deserialize, Serialize};
+
+use sea_common::{CostMeter, Record, Rect};
+
+/// A storage block: the unit of disk I/O. Blocks carry the bounding
+/// rectangle of their records so engines can prune irrelevant blocks
+/// without reading them (the zone-map style metadata that makes "surgical"
+/// access possible at all).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    records: Vec<Record>,
+    bounds: Option<Rect>,
+    bytes: u64,
+}
+
+impl Block {
+    /// Builds a block from records, computing bounds and size.
+    pub fn new(records: Vec<Record>) -> Self {
+        let bounds = bounds_of(&records);
+        let bytes = records.iter().map(Record::storage_bytes).sum();
+        Block {
+            records,
+            bounds,
+            bytes,
+        }
+    }
+
+    /// Records stored in the block.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Bounding rectangle of the block's records (`None` for empty blocks).
+    pub fn bounds(&self) -> Option<&Rect> {
+        self.bounds.as_ref()
+    }
+
+    /// Serialized size in bytes (what a disk read of this block costs).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+fn bounds_of(records: &[Record]) -> Option<Rect> {
+    let first = records.first()?;
+    let dims = first.dims();
+    let mut lo = first.values.clone();
+    let mut hi = first.values.clone();
+    for r in &records[1..] {
+        for d in 0..dims.min(r.dims()) {
+            // NaN values (missing data) are excluded from bounds.
+            let v = r.value(d);
+            if v.is_nan() {
+                continue;
+            }
+            if v < lo[d] {
+                lo[d] = v;
+            }
+            if v > hi[d] {
+                hi[d] = v;
+            }
+        }
+    }
+    // Records with NaN in the first row would poison bounds; sanitize.
+    for d in 0..dims {
+        if lo[d].is_nan() || hi[d].is_nan() {
+            lo[d] = f64::NEG_INFINITY.max(-1e300);
+            hi[d] = f64::INFINITY.min(1e300);
+        }
+    }
+    Rect::new(lo, hi).ok()
+}
+
+/// One simulated data-server node: a list of blocks per table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataNode {
+    blocks: Vec<Block>,
+}
+
+impl DataNode {
+    /// A node with no blocks.
+    pub fn new() -> Self {
+        DataNode::default()
+    }
+
+    /// Appends records as new blocks of at most `block_size` records.
+    pub fn append(&mut self, records: Vec<Record>, block_size: usize) {
+        let block_size = block_size.max(1);
+        let mut buf = records;
+        while !buf.is_empty() {
+            let rest = buf.split_off(buf.len().min(block_size));
+            self.blocks.push(Block::new(buf));
+            buf = rest;
+        }
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Total records on this node.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+
+    /// Whether the node stores no records.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(Block::is_empty)
+    }
+
+    /// Total bytes on this node.
+    pub fn bytes(&self) -> u64 {
+        self.blocks.iter().map(Block::bytes).sum()
+    }
+
+    /// Reads **every** block, charging `meter` one read *per block*: the
+    /// BDAS full-scan path launches a task per block/split, so each block
+    /// carries a seek-equivalent scheduling overhead (the per-layer tax is
+    /// charged separately by callers via `touch_node`). Returns references
+    /// to all records.
+    pub fn scan_all<'a>(&'a self, meter: &mut CostMeter) -> Vec<&'a Record> {
+        let mut out = Vec::with_capacity(self.len());
+        for b in &self.blocks {
+            meter.charge_disk_read(b.bytes());
+            meter.charge_cpu(b.len() as u64);
+            out.extend(b.records().iter());
+        }
+        out
+    }
+
+    /// Reads only blocks whose bounds intersect `region`, charging `meter`
+    /// one *sequential* read (single seek) covering the selected blocks —
+    /// the coordinator path reads pruned block ranges in one sweep — and
+    /// returns the records inside `region`'s bounding box. Blocks with no
+    /// bounds (empty) are skipped free.
+    pub fn scan_region<'a>(&'a self, region: &Rect, meter: &mut CostMeter) -> Vec<&'a Record> {
+        let mut out = Vec::new();
+        let mut read_bytes = 0u64;
+        for b in &self.blocks {
+            let Some(bounds) = b.bounds() else { continue };
+            if !bounds.intersects(region) {
+                continue; // zone map consulted, block skipped: free
+            }
+            read_bytes += b.bytes();
+            meter.charge_cpu(b.len() as u64);
+            out.extend(b.records().iter().filter(|r| {
+                r.dims() == region.dims()
+                    && r.values
+                        .iter()
+                        .enumerate()
+                        .all(|(d, &v)| region.lo()[d] <= v && v <= region.hi()[d])
+            }));
+        }
+        if read_bytes > 0 {
+            meter.charge_disk_read(read_bytes);
+        }
+        out
+    }
+
+    /// Deletes records matching `pred`, rebuilding affected blocks.
+    /// Returns the number of records removed.
+    pub fn delete_where(&mut self, pred: impl Fn(&Record) -> bool) -> usize {
+        let mut removed = 0;
+        for b in &mut self.blocks {
+            let before = b.records.len();
+            b.records.retain(|r| !pred(r));
+            if b.records.len() != before {
+                removed += before - b.records.len();
+                *b = Block::new(std::mem::take(&mut b.records));
+            }
+        }
+        self.blocks.retain(|b| !b.is_empty());
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(i as u64, vec![i as f64, (i * 2) as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn append_chunks_into_blocks() {
+        let mut node = DataNode::new();
+        node.append(recs(25), 10);
+        assert_eq!(node.blocks().len(), 3);
+        assert_eq!(node.len(), 25);
+        assert_eq!(node.blocks()[0].len(), 10);
+        assert_eq!(node.blocks()[2].len(), 5);
+    }
+
+    #[test]
+    fn block_bounds_cover_records() {
+        let b = Block::new(recs(10));
+        let bounds = b.bounds().unwrap();
+        assert_eq!(bounds.lo(), &[0.0, 0.0]);
+        assert_eq!(bounds.hi(), &[9.0, 18.0]);
+        assert_eq!(b.bytes(), 10 * (8 + 16));
+    }
+
+    #[test]
+    fn scan_all_charges_everything() {
+        let mut node = DataNode::new();
+        node.append(recs(100), 10);
+        let mut meter = CostMeter::new();
+        let all = node.scan_all(&mut meter);
+        assert_eq!(all.len(), 100);
+        assert_eq!(meter.disk_seeks, 10);
+        assert_eq!(meter.disk_bytes, node.bytes());
+        assert_eq!(meter.records_processed, 100);
+    }
+
+    #[test]
+    fn scan_region_prunes_blocks() {
+        let mut node = DataNode::new();
+        node.append(recs(100), 10); // block i covers dim0 in [10i, 10i+9]
+        let mut meter = CostMeter::new();
+        let region = Rect::new(vec![15.0, 0.0], vec![24.0, 1e9]).unwrap();
+        let hits = node.scan_region(&region, &mut meter);
+        assert_eq!(hits.len(), 10, "values 15..=24");
+        assert_eq!(meter.disk_seeks, 1, "one sequential read over 2 blocks");
+        assert!(meter.disk_bytes < node.bytes() / 2);
+    }
+
+    #[test]
+    fn scan_region_returns_only_contained_records() {
+        let mut node = DataNode::new();
+        node.append(recs(20), 20); // one block
+        let mut meter = CostMeter::new();
+        let region = Rect::new(vec![5.0, 0.0], vec![7.0, 1e9]).unwrap();
+        let hits = node.scan_region(&region, &mut meter);
+        let ids: Vec<u64> = hits.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn delete_where_rebuilds_bounds() {
+        let mut node = DataNode::new();
+        node.append(recs(10), 10);
+        let removed = node.delete_where(|r| r.value(0) >= 5.0);
+        assert_eq!(removed, 5);
+        assert_eq!(node.len(), 5);
+        let bounds = node.blocks()[0].bounds().unwrap();
+        assert_eq!(bounds.hi()[0], 4.0, "bounds shrunk after delete");
+    }
+
+    #[test]
+    fn delete_everything_leaves_empty_node() {
+        let mut node = DataNode::new();
+        node.append(recs(10), 3);
+        assert_eq!(node.delete_where(|_| true), 10);
+        assert!(node.is_empty());
+        assert_eq!(node.blocks().len(), 0);
+    }
+
+    #[test]
+    fn nan_values_do_not_poison_bounds() {
+        let records = vec![
+            Record::new(0, vec![1.0, f64::NAN]),
+            Record::new(1, vec![3.0, 5.0]),
+        ];
+        let b = Block::new(records);
+        let bounds = b.bounds().unwrap();
+        assert_eq!(bounds.lo()[0], 1.0);
+        assert_eq!(bounds.hi()[0], 3.0);
+        assert!(bounds.lo()[1].is_finite());
+        assert!(bounds.hi()[1].is_finite());
+    }
+}

@@ -1,0 +1,158 @@
+//! Table partitioning policies.
+
+use serde::{Deserialize, Serialize};
+
+use sea_common::{Record, Rect};
+
+/// Identifier of a data node within a [`crate::StorageCluster`].
+pub type NodeId = usize;
+
+/// How a table's records are assigned to data nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Partitioning {
+    /// Records are spread across all nodes by record-id hash. Every
+    /// selection must engage every node (the common HDFS-style layout).
+    Hash,
+    /// Records are range-partitioned on attribute `dim` with the given
+    /// split points: node `i` holds values in `[splits[i-1], splits[i])`
+    /// (node 0 takes everything below `splits\[0\]`, the last node everything
+    /// at or above the last split). Selections that constrain `dim` can
+    /// prune nodes.
+    Range {
+        /// The partitioning attribute.
+        dim: usize,
+        /// Ascending split points; `splits.len() + 1` nodes are addressed.
+        splits: Vec<f64>,
+    },
+}
+
+impl Partitioning {
+    /// The node a record belongs to, given `n_nodes` nodes.
+    pub fn node_for(&self, record: &Record, n_nodes: usize) -> NodeId {
+        match self {
+            Partitioning::Hash => {
+                // Fibonacci hash of the record id: deterministic, well mixed.
+                (record.id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n_nodes
+            }
+            Partitioning::Range { dim, splits } => {
+                let v = record.value(*dim);
+                let idx = splits.partition_point(|s| *s <= v);
+                idx.min(n_nodes - 1)
+            }
+        }
+    }
+
+    /// The set of nodes that may hold records inside `region` (its
+    /// axis-aligned bounding rectangle), given `n_nodes` nodes. Hash
+    /// partitioning cannot prune; range partitioning returns only nodes
+    /// whose value interval overlaps the region's interval in the
+    /// partitioning dimension.
+    pub fn nodes_for_region(&self, region: &Rect, n_nodes: usize) -> Vec<NodeId> {
+        match self {
+            Partitioning::Hash => (0..n_nodes).collect(),
+            Partitioning::Range { dim, splits } => {
+                if *dim >= region.dims() {
+                    return (0..n_nodes).collect();
+                }
+                let lo = region.lo()[*dim];
+                let hi = region.hi()[*dim];
+                let first = splits.partition_point(|s| *s <= lo).min(n_nodes - 1);
+                let last = splits.partition_point(|s| *s <= hi).min(n_nodes - 1);
+                (first..=last).collect()
+            }
+        }
+    }
+
+    /// Builds equi-width range splits over `[lo, hi]` for `n_nodes` nodes.
+    pub fn equi_width_splits(lo: f64, hi: f64, n_nodes: usize) -> Vec<f64> {
+        let width = (hi - lo) / n_nodes as f64;
+        (1..n_nodes).map(|i| lo + width * i as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_spreads_records() {
+        let p = Partitioning::Hash;
+        let mut counts = vec![0usize; 4];
+        for id in 0..4000u64 {
+            let r = Record::new(id, vec![0.0]);
+            counts[p.node_for(&r, 4)] += 1;
+        }
+        for c in &counts {
+            assert!(*c > 800 && *c < 1200, "balanced-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hash_cannot_prune() {
+        let p = Partitioning::Hash;
+        let region = Rect::new(vec![0.0], vec![0.1]).unwrap();
+        assert_eq!(p.nodes_for_region(&region, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn range_assigns_by_split() {
+        let p = Partitioning::Range {
+            dim: 0,
+            splits: vec![10.0, 20.0],
+        };
+        assert_eq!(p.node_for(&Record::new(0, vec![5.0]), 3), 0);
+        assert_eq!(p.node_for(&Record::new(1, vec![10.0]), 3), 1);
+        assert_eq!(p.node_for(&Record::new(2, vec![15.0]), 3), 1);
+        assert_eq!(p.node_for(&Record::new(3, vec![25.0]), 3), 2);
+    }
+
+    #[test]
+    fn range_prunes_nodes() {
+        let p = Partitioning::Range {
+            dim: 0,
+            splits: vec![10.0, 20.0, 30.0],
+        };
+        let region = Rect::new(vec![12.0, 0.0], vec![18.0, 1.0]).unwrap();
+        assert_eq!(p.nodes_for_region(&region, 4), vec![1]);
+        let wide = Rect::new(vec![5.0, 0.0], vec![25.0, 1.0]).unwrap();
+        assert_eq!(p.nodes_for_region(&wide, 4), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn range_on_unconstrained_dim_touches_all() {
+        let p = Partitioning::Range {
+            dim: 5,
+            splits: vec![10.0],
+        };
+        let region = Rect::new(vec![0.0], vec![1.0]).unwrap();
+        assert_eq!(p.nodes_for_region(&region, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn equi_width_splits_are_ascending() {
+        let s = Partitioning::equi_width_splits(0.0, 100.0, 4);
+        assert_eq!(s, vec![25.0, 50.0, 75.0]);
+        assert!(Partitioning::equi_width_splits(0.0, 1.0, 1).is_empty());
+    }
+
+    #[test]
+    fn range_partition_roundtrip_with_pruning() {
+        // Every record must land on a node the pruner would visit for a
+        // region containing the record.
+        let p = Partitioning::Range {
+            dim: 0,
+            splits: Partitioning::equi_width_splits(0.0, 100.0, 8),
+        };
+        for i in 0..100 {
+            let v = i as f64;
+            let rec = Record::new(i, vec![v]);
+            let node = p.node_for(&rec, 8);
+            let region = Rect::new(vec![v - 0.5], vec![v + 0.5]).unwrap();
+            assert!(
+                p.nodes_for_region(&region, 8).contains(&node),
+                "value {v} on node {node} missed by pruner"
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests of the storage substrate: whatever the partitioning,
+//! block size, or failure pattern, scans must return exactly the loaded
+//! records.
+
+use proptest::prelude::*;
+
+use sea_common::{CostMeter, Record, Rect};
+use sea_storage::{Partitioning, StorageCluster};
+
+fn arb_records(max: usize) -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..max).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Record::new(i as u64, vec![x, y]))
+            .collect()
+    })
+}
+
+fn arb_partitioning() -> impl Strategy<Value = Partitioning> {
+    prop_oneof![
+        Just(Partitioning::Hash),
+        (1usize..6).prop_map(|n| Partitioning::Range {
+            dim: 0,
+            splits: Partitioning::equi_width_splits(0.0, 100.0, n + 1),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn full_scans_return_every_record_exactly_once(
+        records in arb_records(150),
+        partitioning in arb_partitioning(),
+        nodes in 1usize..8,
+        block in 1usize..64,
+    ) {
+        let mut c = StorageCluster::new(nodes, block);
+        c.load_table("t", records.clone(), partitioning).unwrap();
+        let mut ids = Vec::new();
+        for n in 0..nodes {
+            let mut m = CostMeter::new();
+            ids.extend(c.scan_node("t", n, &mut m).unwrap().iter().map(|r| r.id));
+        }
+        ids.sort_unstable();
+        let mut want: Vec<u64> = records.iter().map(|r| r.id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(ids, want);
+    }
+
+    #[test]
+    fn region_scans_equal_filtering(
+        records in arb_records(150),
+        partitioning in arb_partitioning(),
+        lx in 0.0f64..80.0, ly in 0.0f64..80.0, w in 1.0f64..40.0, h in 1.0f64..40.0,
+    ) {
+        let region = Rect::new(vec![lx, ly], vec![lx + w, ly + h]).unwrap();
+        let mut c = StorageCluster::new(4, 16);
+        c.load_table("t", records.clone(), partitioning).unwrap();
+        let mut got = Vec::new();
+        for n in c.nodes_for_region("t", &region).unwrap() {
+            let mut m = CostMeter::new();
+            got.extend(
+                c.scan_node_region("t", n, &region, &mut m)
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.id),
+            );
+        }
+        got.sort_unstable();
+        let mut want: Vec<u64> = records
+            .iter()
+            .filter(|r| region.contains(&r.to_point()))
+            .map(|r| r.id)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn replication_masks_any_single_failure(
+        records in arb_records(120),
+        fail in 0usize..4,
+    ) {
+        let mut c = StorageCluster::with_replication(4, 16);
+        c.load_table("t", records.clone(), Partitioning::Hash).unwrap();
+        c.fail_node(fail).unwrap();
+        let mut ids = Vec::new();
+        for n in 0..4 {
+            let mut m = CostMeter::new();
+            ids.extend(c.scan_node("t", n, &mut m).unwrap().iter().map(|r| r.id));
+        }
+        ids.sort_unstable();
+        let mut want: Vec<u64> = records.iter().map(|r| r.id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(ids, want);
+    }
+
+    #[test]
+    fn insert_then_delete_region_is_consistent(
+        records in arb_records(100),
+        lx in 0.0f64..80.0, w in 1.0f64..40.0,
+    ) {
+        let region = Rect::new(vec![lx, 0.0], vec![lx + w, 100.0]).unwrap();
+        let mut c = StorageCluster::new(3, 16);
+        c.load_table("t", records.clone(), Partitioning::Hash).unwrap();
+        let removed = c.delete_region("t", &region).unwrap();
+        let want_removed = records
+            .iter()
+            .filter(|r| region.contains(&r.to_point()))
+            .count();
+        prop_assert_eq!(removed, want_removed);
+        prop_assert_eq!(
+            c.stats("t").unwrap().records,
+            records.len() - want_removed
+        );
+        // Nothing inside the region survives.
+        for n in 0..3 {
+            let mut m = CostMeter::new();
+            let inside = c.scan_node_region("t", n, &region, &mut m).unwrap();
+            prop_assert!(inside.is_empty());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # sea-workload
+//!
+//! Synthetic data and query workload generators for the SEA experiments.
+//!
+//! The paper's data-less paradigm (P2) rests on one empirical workload
+//! property: "queries define overlapping data subspaces" (§IV, citing
+//! BlinkDB, SciBORQ, DBL, Data Canopy). This crate makes that property a
+//! tunable parameter: analyst populations concentrate their queries on a
+//! small number of *interest regions* (hotspots), whose location can drift
+//! over time (RT1-4 model maintenance experiments).
+//!
+//! Data generators cover the distributions the experiments sweep over:
+//! uniform, Gaussian mixtures (clustered real-world-like data), Zipf-skewed
+//! attributes, and linearly-correlated attribute pairs (for the regression
+//! and correlation operators).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod drift;
+pub mod queries;
+
+pub use data::{DataGenerator, DataSpec, GaussianComponent};
+pub use drift::{DriftKind, DriftingWorkload};
+pub use queries::{Hotspot, QueryGenerator, QuerySpec, RegionShape};

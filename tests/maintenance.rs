@@ -1,0 +1,154 @@
+//! Integration tests of the maintenance story across crates: data updates
+//! propagate through storage into the agent; drifting workloads keep the
+//! pipeline accurate; the geo deployment composes with all of it.
+
+use sea_common::{AggregateKind, AnalyticalQuery, Point, Rect, Region};
+use sea_core::{AgentConfig, AgentPipeline, ExecMode};
+use sea_geo::{GeoConfig, GeoSystem};
+use sea_query::Executor;
+use sea_storage::{Partitioning, StorageCluster};
+use sea_workload::{
+    DataGenerator, DataSpec, DriftKind, DriftingWorkload, QueryGenerator, QuerySpec,
+};
+
+fn cluster(seed: u64) -> StorageCluster {
+    let domain = Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]).unwrap();
+    let data = DataGenerator::new(DataSpec::Uniform { domain }, seed)
+        .generate(80_000)
+        .unwrap();
+    let mut c = StorageCluster::new(8, 512);
+    c.load_table("t", data, Partitioning::Hash).unwrap();
+    c
+}
+
+fn count_query(cx: f64, cy: f64, e: f64) -> AnalyticalQuery {
+    AnalyticalQuery::new(
+        Region::Range(Rect::centered(&Point::new(vec![cx, cy]), &[e, e]).unwrap()),
+        AggregateKind::Count,
+    )
+}
+
+#[test]
+fn deletes_then_invalidation_restore_accuracy() {
+    let mut c = cluster(3);
+    // Train.
+    let mut pipe = AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct)
+        .unwrap()
+        .with_refresh_every(0);
+    {
+        let exec = Executor::new(&c);
+        for i in 0..200 {
+            let q = count_query(50.0, 50.0, 6.0 + (i % 15) as f64 * 0.5);
+            let _ = pipe.process(&exec, &q).unwrap();
+        }
+    }
+    // Delete most of the hotspot's records.
+    let hole = Rect::new(vec![42.0, 42.0], vec![58.0, 58.0]).unwrap();
+    let removed = c.delete_region("t", &hole).unwrap();
+    assert!(removed > 1_500, "big delete: {removed}");
+
+    let exec = Executor::new(&c);
+    let probe = count_query(50.0, 50.0, 7.0);
+    let truth = exec.execute_direct("t", &probe).unwrap().answer;
+
+    // Stale model drastically overestimates.
+    let stale_out = pipe.process(&exec, &probe).unwrap();
+    let stale_err = stale_out.answer.relative_error(&truth);
+
+    // Invalidate and re-probe: the pipeline escalates to exact execution
+    // and relearns, so the error falls back to ~0.
+    pipe.agent_mut().invalidate_region(&hole).unwrap();
+    let fresh_out = pipe.process(&exec, &probe).unwrap();
+    let fresh_err = fresh_out.answer.relative_error(&truth);
+    assert!(
+        fresh_err < stale_err / 2.0 || fresh_err < 0.01,
+        "stale {stale_err} vs fresh {fresh_err}"
+    );
+}
+
+#[test]
+fn drifting_workload_stays_accurate_with_maintenance() {
+    let c = cluster(5);
+    let exec = Executor::new(&c);
+    let spec = QuerySpec::simple_count(vec![25.0, 25.0], 2.0, (5.0, 12.0)).unwrap();
+    let gen = QueryGenerator::new(spec, 13).unwrap();
+    let mut workload = DriftingWorkload::new(
+        gen,
+        DriftKind::Linear {
+            velocity: vec![0.08, 0.08], // ~40 units over 500 queries
+        },
+    );
+    let mut pipe = AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct)
+        .unwrap()
+        .with_refresh_every(12);
+    let mut tail_err = 0.0;
+    let mut tail_n = 0;
+    for step in 0..500 {
+        let q = workload.next_query().unwrap();
+        let Ok(truth) = exec.execute_direct("t", &q) else {
+            continue;
+        };
+        let out = pipe.process(&exec, &q).unwrap();
+        if step >= 400 {
+            tail_err += out.answer.relative_error(&truth.answer);
+            tail_n += 1;
+        }
+    }
+    // Periodically purge quanta the drift abandoned.
+    // The quantizer clock advances once per *training* (exact) query,
+    // so the age bound is small relative to the 500-query stream.
+    let purged = pipe.agent_mut().purge_stale(30);
+    let tail_mean = tail_err / tail_n as f64;
+    assert!(tail_mean < 0.12, "tracking drift: {tail_mean}");
+    // Drift across 40 units with spawn distance 10 must have spawned and
+    // abandoned several quanta.
+    assert!(purged >= 1, "stale quanta purged: {purged}");
+}
+
+#[test]
+fn geo_system_survives_data_updates() {
+    let mut c = cluster(7);
+    // Pre-train the deployment.
+    {
+        let mut geo = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+        for i in 0..150 {
+            let q = count_query(50.0, 50.0, 5.0 + (i % 12) as f64 * 0.5);
+            geo.submit(0, &q).unwrap();
+        }
+        assert!(geo.stats().fallback_rate() < 0.5);
+    } // geo borrows end here
+      // Update the data: double the density in the hotspot.
+    let extra = DataGenerator::new(
+        DataSpec::Uniform {
+            domain: Rect::new(vec![40.0, 40.0], vec![60.0, 60.0]).unwrap(),
+        },
+        11,
+    )
+    .generate(30_000)
+    .unwrap();
+    let extra: Vec<_> = extra
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut r)| {
+            r.id = 500_000 + i as u64;
+            r
+        })
+        .collect();
+    c.insert("t", extra).unwrap();
+
+    // A fresh deployment over the updated cluster reconverges.
+    let mut geo = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+    let exec = Executor::new(&c);
+    for i in 0..150 {
+        let q = count_query(50.0, 50.0, 5.0 + (i % 12) as f64 * 0.5);
+        geo.submit(0, &q).unwrap();
+    }
+    let probe = count_query(50.0, 50.0, 6.3);
+    let truth = exec.execute_direct("t", &probe).unwrap().answer;
+    let out = geo.submit(0, &probe).unwrap();
+    assert!(
+        out.answer.relative_error(&truth) < 0.15,
+        "geo answers track updated data: {:?} vs {truth:?}",
+        out.answer
+    );
+}
