@@ -3,21 +3,60 @@
 //! ```text
 //! cargo run -p sea-bench --release --bin experiments           # all
 //! cargo run -p sea-bench --release --bin experiments -- e4 e5  # subset
+//! cargo run -p sea-bench --release --bin experiments -- --json-out out e1
 //! ```
+//!
+//! With `--json-out <dir>`, each experiment runs against a recording
+//! [`TelemetrySink`] and writes `<dir>/<id>/report.json` (the result
+//! table) plus `<dir>/<id>/metrics.json` (the telemetry snapshot:
+//! counters, gauges, latency histograms, span trees, per-query events).
+//! Without it, experiments run against the no-op sink and print the same
+//! tables they always have.
 
-use sea_bench::experiments::{run_by_id, ALL_IDS};
+use std::path::PathBuf;
+
+use sea_bench::experiments::{run_by_id_with, ALL_IDS};
+use sea_telemetry::TelemetrySink;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() {
+    let mut json_out: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json-out" {
+            match args.next() {
+                Some(dir) => json_out = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json-out requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(arg);
+        }
+    }
+    let ids: Vec<&str> = if ids.is_empty() {
         ALL_IDS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
     };
     let mut failures = 0;
     for id in ids {
-        match run_by_id(id) {
-            Ok(report) => println!("{report}"),
+        let sink = if json_out.is_some() {
+            TelemetrySink::recording()
+        } else {
+            TelemetrySink::noop()
+        };
+        match run_by_id_with(id, &sink) {
+            Ok(report) => {
+                println!("{report}");
+                if let Some(dir) = &json_out {
+                    if let Err(e) = write_sidecars(dir, id, &report, &sink) {
+                        eprintln!("experiment {id}: writing json sidecars failed: {e}");
+                        failures += 1;
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
                 failures += 1;
@@ -27,4 +66,26 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Writes `<dir>/<id>/report.json` and, if the sink recorded anything,
+/// `<dir>/<id>/metrics.json`.
+fn write_sidecars(
+    dir: &std::path::Path,
+    id: &str,
+    report: &sea_bench::Report,
+    sink: &TelemetrySink,
+) -> std::io::Result<()> {
+    let exp_dir = dir.join(id);
+    std::fs::create_dir_all(&exp_dir)?;
+    let report_json = report
+        .to_json()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(exp_dir.join("report.json"), report_json)?;
+    if let Some(snapshot) = sink.snapshot() {
+        let metrics_json = serde_json::to_string_pretty(&snapshot)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(exp_dir.join("metrics.json"), metrics_json)?;
+    }
+    Ok(())
 }

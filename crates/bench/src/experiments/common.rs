@@ -1,8 +1,32 @@
-//! Shared workload/cluster construction for the experiment runners.
+//! Shared workload/cluster construction for the experiment runners, plus
+//! the telemetry conventions instrumented experiments share.
 
 use sea_common::{AggregateKind, AnalyticalQuery, Record, Rect, Result};
 use sea_storage::{Partitioning, StorageCluster};
+use sea_telemetry::{SpanGuard, TelemetrySink};
 use sea_workload::{DataGenerator, DataSpec, QueryGenerator, QuerySpec};
+
+/// Histogram every instrumented experiment feeds per-query simulated
+/// latency into (the p50/p95/p99 source in `metrics.json`).
+pub const QUERY_LATENCY_HISTOGRAM: &str = "bench.query_sim_us";
+
+/// Opens the root `bench.query` span for one experiment query and tags
+/// subsequent events with `id`. Spans opened further down the stack
+/// (pipeline, executor, storage) nest under the returned guard; callers
+/// should [`SpanGuard::record_sim_us`] the query's modelled cost before
+/// dropping it.
+#[must_use]
+pub fn query_span(sink: &TelemetrySink, id: u64) -> SpanGuard {
+    sink.begin_query(id);
+    sink.incr("bench.queries", 1);
+    sink.span("bench.query")
+}
+
+/// Records one query's simulated wall-clock microseconds into
+/// [`QUERY_LATENCY_HISTOGRAM`].
+pub fn observe_query_us(sink: &TelemetrySink, wall_us: f64) {
+    sink.observe(QUERY_LATENCY_HISTOGRAM, wall_us);
+}
 
 /// A uniform 2-D cluster over `[0, 100]²` with `n` records on `nodes`
 /// nodes (hash partitioning, 512-record blocks).

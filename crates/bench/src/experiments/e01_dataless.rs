@@ -8,14 +8,22 @@
 use sea_common::Result;
 use sea_core::{AgentConfig, AgentPipeline, ExecMode};
 use sea_query::Executor;
+use sea_telemetry::TelemetrySink;
 
-use crate::experiments::common::{count_workload, uniform_cluster};
+use crate::experiments::common::{count_workload, observe_query_us, query_span, uniform_cluster};
 use crate::Report;
+
+/// Runs E1 without telemetry.
+pub fn run_e1() -> Result<Report> {
+    run_e1_with(&TelemetrySink::noop())
+}
 
 /// Runs E1. Columns: dataset size, mean per-query simulated µs for the
 /// BDAS path, the direct path, and the trained agent (predictions only),
 /// plus the agent's mean relative error and nodes touched per query.
-pub fn run_e1() -> Result<Report> {
+/// Spans, per-query latency histograms, and agent decision events flow
+/// into `sink`.
+pub fn run_e1_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E1",
         "data-less processing vs BDAS (Fig 1 vs Fig 2)",
@@ -29,8 +37,10 @@ pub fn run_e1() -> Result<Report> {
             "agent_bytes_moved",
         ],
     );
+    let mut qid = 0u64;
     for &n in &[20_000usize, 80_000, 320_000] {
-        let cluster = uniform_cluster(n, 8, 7)?;
+        let mut cluster = uniform_cluster(n, 8, 7)?;
+        cluster.set_telemetry(sink.clone());
         let exec = Executor::new(&cluster);
 
         // Exact costs, averaged over 20 probe queries.
@@ -41,8 +51,14 @@ pub fn run_e1() -> Result<Report> {
         let probes = 20;
         for _ in 0..probes {
             let q = gen.next_query();
+            let span = query_span(sink, qid);
+            qid += 1;
             let b = exec.execute_bdas("t", &q)?;
             let d = exec.execute_direct("t", &q)?;
+            span.record_sim_us(b.cost.wall_us + d.cost.wall_us);
+            drop(span);
+            observe_query_us(sink, b.cost.wall_us);
+            observe_query_us(sink, d.cost.wall_us);
             bdas_us += b.cost.wall_us;
             direct_us += d.cost.wall_us;
             bdas_nodes += b.cost.totals.nodes_touched as f64;
@@ -54,11 +70,18 @@ pub fn run_e1() -> Result<Report> {
         // Agent: train on 150 queries, then measure prediction-phase cost
         // and accuracy on fresh queries.
         let mut pipe = AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct)?
-            .with_refresh_every(16);
+            .with_refresh_every(16)
+            .with_telemetry(sink.clone());
         let mut train_gen = count_workload(5.0, 15.0, 13)?;
         for _ in 0..150 {
             let q = train_gen.next_query();
-            let _ = pipe.process(&exec, &q);
+            let span = query_span(sink, qid);
+            qid += 1;
+            let out = pipe.process(&exec, &q);
+            if let Ok(out) = &out {
+                span.record_sim_us(out.cost.wall_us);
+                observe_query_us(sink, out.cost.wall_us);
+            }
         }
         let mut probe_gen = count_workload(5.0, 15.0, 17)?;
         let mut agent_us = 0.0;
@@ -70,7 +93,12 @@ pub fn run_e1() -> Result<Report> {
             let Ok(exact) = exec.execute_direct("t", &q) else {
                 continue;
             };
+            let span = query_span(sink, qid);
+            qid += 1;
             let out = pipe.process(&exec, &q)?;
+            span.record_sim_us(out.cost.wall_us);
+            drop(span);
+            observe_query_us(sink, out.cost.wall_us);
             agent_us += out.cost.wall_us;
             bytes += out.cost.totals.disk_bytes + out.cost.totals.lan_bytes;
             rel += out.answer.relative_error(&exact.answer);

@@ -5,15 +5,52 @@
 //! size* (the paper reports up to 6 orders of magnitude on real
 //! deployments).
 
-use sea_common::{CostMeter, CostModel, Result};
+use sea_common::{AggregateKind, AnalyticalQuery, CostMeter, CostModel, Rect, Region, Result};
+use sea_core::{AgentConfig, AgentPipeline, ExecMode};
+use sea_query::Executor;
 use sea_rankjoin::{mapreduce_rank_join, surgical_rank_join, ScoreIndex};
+use sea_telemetry::TelemetrySink;
 
-use crate::experiments::common::rankjoin_cluster;
+use crate::experiments::common::{observe_query_us, query_span, rankjoin_cluster};
 use crate::Report;
 
-/// Runs E4. Columns: tuples per table, time factor, bytes factor, money
-/// factor, tuples retrieved by each side.
+/// Runs E4 without telemetry.
 pub fn run_e4() -> Result<Report> {
+    run_e4_with(&TelemetrySink::noop())
+}
+
+/// Agent-assisted planning phase: before committing to a join strategy,
+/// the system answers COUNT cardinality probes over the left table with
+/// the learned agent (falling back to exact scans while untrained).
+/// This exercises the full predict-vs-exact decision path — it feeds
+/// `agent.predicted` / `agent.fallback` events and deep span trees into
+/// `sink` — and deliberately never touches the report rows, so E4's
+/// result table is identical with or without a recording sink.
+fn plan_cardinalities(sink: &TelemetrySink, qid: &mut u64) -> Result<()> {
+    let mut cluster = rankjoin_cluster(10_000, 200, 8)?;
+    cluster.set_telemetry(sink.clone());
+    let exec = Executor::new(&cluster);
+    let mut pipe = AgentPipeline::new(3, AgentConfig::default(), "l", 0.3, ExecMode::Direct)?
+        .with_telemetry(sink.clone());
+    for i in 0..40u64 {
+        let e = 20.0 + (i % 8) as f64;
+        let rect = Rect::new(vec![100.0 - e, 0.0, 0.0], vec![100.0 + e, 10_000.0, 3.0])?;
+        let q = AnalyticalQuery::new(Region::Range(rect), AggregateKind::Count);
+        let span = query_span(sink, *qid);
+        *qid += 1;
+        if let Ok(out) = pipe.process(&exec, &q) {
+            span.record_sim_us(out.cost.wall_us);
+            drop(span);
+            observe_query_us(sink, out.cost.wall_us);
+        }
+    }
+    Ok(())
+}
+
+/// Runs E4. Columns: tuples per table, time factor, bytes factor, money
+/// factor, tuples retrieved by each side. Join-level spans, per-query
+/// latency histograms, and planning-phase agent events flow into `sink`.
+pub fn run_e4_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E4",
         "rank-join: surgical index vs MapReduce shuffle",
@@ -26,13 +63,22 @@ pub fn run_e4() -> Result<Report> {
             "mapreduce_tuples",
         ],
     );
+    let mut qid = 0u64;
+    plan_cardinalities(sink, &mut qid)?;
     let model = CostModel::default();
     for &n in &[10_000u64, 50_000, 200_000] {
-        let cluster = rankjoin_cluster(n, n / 50, 8)?;
+        let mut cluster = rankjoin_cluster(n, n / 50, 8)?;
+        cluster.set_telemetry(sink.clone());
+        let span = query_span(sink, qid);
+        qid += 1;
         let li = ScoreIndex::build(&cluster, "l", &mut CostMeter::new())?;
         let ri = ScoreIndex::build(&cluster, "r", &mut CostMeter::new())?;
         let surgical = surgical_rank_join(&li, &ri, 10, 256, &model)?;
         let mr = mapreduce_rank_join(&cluster, "l", "r", 10, &model)?;
+        span.record_sim_us(surgical.cost.wall_us + mr.cost.wall_us);
+        drop(span);
+        observe_query_us(sink, surgical.cost.wall_us);
+        observe_query_us(sink, mr.cost.wall_us);
         let bytes = |o: &sea_rankjoin::RankJoinOutcome| {
             (o.cost.totals.disk_bytes + o.cost.totals.lan_bytes) as f64
         };

@@ -8,20 +8,29 @@
 use sea_common::Result;
 use sea_core::{AgentConfig, AgentPipeline, ExecMode};
 use sea_query::Executor;
+use sea_telemetry::TelemetrySink;
 
-use crate::experiments::common::{count_workload, uniform_cluster};
+use crate::experiments::common::{count_workload, observe_query_us, query_span, uniform_cluster};
 use crate::Report;
 
-/// Runs E7. Columns: records, sustainable qps for BDAS-only, direct-only,
-/// and the trained agent pipeline.
+/// Runs E7 without telemetry.
 pub fn run_e7() -> Result<Report> {
+    run_e7_with(&TelemetrySink::noop())
+}
+
+/// Runs E7. Columns: records, sustainable qps for BDAS-only, direct-only,
+/// and the trained agent pipeline. Per-query spans, latency histograms,
+/// and agent decision events flow into `sink`.
+pub fn run_e7_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E7",
         "sustainable throughput (queries/second)",
         &["records", "bdas_qps", "direct_qps", "agent_qps"],
     );
+    let mut qid = 0u64;
     for &n in &[50_000usize, 200_000] {
-        let cluster = uniform_cluster(n, 8, 19)?;
+        let mut cluster = uniform_cluster(n, 8, 19)?;
+        cluster.set_telemetry(sink.clone());
         let exec = Executor::new(&cluster);
 
         let mut gen = count_workload(5.0, 15.0, 23)?;
@@ -29,18 +38,31 @@ pub fn run_e7() -> Result<Report> {
         let mut direct_us = 0.0;
         for _ in 0..15 {
             let q = gen.next_query();
-            bdas_us += exec.execute_bdas("t", &q)?.cost.wall_us;
-            direct_us += exec.execute_direct("t", &q)?.cost.wall_us;
+            let span = query_span(sink, qid);
+            qid += 1;
+            let b = exec.execute_bdas("t", &q)?.cost.wall_us;
+            let d = exec.execute_direct("t", &q)?.cost.wall_us;
+            span.record_sim_us(b + d);
+            drop(span);
+            observe_query_us(sink, b);
+            observe_query_us(sink, d);
+            bdas_us += b;
+            direct_us += d;
         }
         bdas_us /= 15.0;
         direct_us /= 15.0;
 
         let mut pipe = AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct)?
-            .with_refresh_every(32);
+            .with_refresh_every(32)
+            .with_telemetry(sink.clone());
         let mut train = count_workload(5.0, 15.0, 27)?;
         for _ in 0..150 {
             let q = train.next_query();
-            let _ = pipe.process(&exec, &q);
+            let span = query_span(sink, qid);
+            qid += 1;
+            if let Ok(out) = pipe.process(&exec, &q) {
+                span.record_sim_us(out.cost.wall_us);
+            }
         }
         // Prediction-phase service time: the model prediction itself is
         // ~0.1 ms of agent compute plus the amortized audit.
@@ -49,9 +71,14 @@ pub fn run_e7() -> Result<Report> {
         const PREDICT_US: f64 = 100.0;
         for _ in 0..60 {
             let q = probe.next_query();
+            let span = query_span(sink, qid);
+            qid += 1;
             let Ok(out) = pipe.process(&exec, &q) else {
                 continue;
             };
+            span.record_sim_us(out.cost.wall_us);
+            drop(span);
+            observe_query_us(sink, PREDICT_US + out.cost.wall_us);
             agent_us += PREDICT_US + out.cost.wall_us;
         }
         agent_us /= 60.0;

@@ -60,7 +60,11 @@ pub fn run_e17() -> Result<Report> {
     }
     for (i, &(n, total)) in sums.iter().enumerate() {
         report.push_row(vec![
-            if buckets[i].is_finite() { buckets[i] } else { 99.0 },
+            if buckets[i].is_finite() {
+                buckets[i]
+            } else {
+                99.0
+            },
             n as f64,
             if n > 0 { total / n as f64 } else { f64::NAN },
         ]);

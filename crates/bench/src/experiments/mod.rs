@@ -21,13 +21,13 @@ mod e16_raw_data;
 mod e17_calibration;
 
 pub use a01_ablations::run_a1;
-pub use e01_dataless::run_e1;
+pub use e01_dataless::{run_e1, run_e1_with};
 pub use e02_count_accuracy::run_e2;
 pub use e03_avg_regression::run_e3;
-pub use e04_rankjoin::run_e4;
+pub use e04_rankjoin::{run_e4, run_e4_with};
 pub use e05_knn::run_e5;
 pub use e06_graphcache::run_e6;
-pub use e07_throughput::run_e7;
+pub use e07_throughput::{run_e7, run_e7_with};
 pub use e08_storage::run_e8;
 pub use e09_optimizer::run_e9;
 pub use e10_geo::run_e10;
@@ -69,6 +69,21 @@ pub fn run_by_id(id: &str) -> sea_common::Result<Report> {
         other => Err(sea_common::SeaError::NotFound(format!(
             "experiment {other}"
         ))),
+    }
+}
+
+/// Runs one experiment by id, feeding telemetry into `sink` where the
+/// experiment is instrumented (E1, E4, E7); other ids run uninstrumented.
+///
+/// # Errors
+///
+/// Unknown id or experiment-internal errors.
+pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_common::Result<Report> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => run_e1_with(sink),
+        "e4" => run_e4_with(sink),
+        "e7" => run_e7_with(sink),
+        other => run_by_id(other),
     }
 }
 

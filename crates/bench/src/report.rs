@@ -2,8 +2,11 @@
 
 use std::fmt;
 
+use sea_common::{Result, SeaError};
+use serde::{Deserialize, Serialize};
+
 /// One experiment's result table.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
     /// Experiment id, e.g. "E4".
     pub id: String,
@@ -26,20 +29,47 @@ impl Report {
         }
     }
 
+    /// Appends a row, rejecting one whose arity differs from the column
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::InvalidArgument`] on an arity mismatch; the report is
+    /// left unchanged.
+    pub fn try_push_row(&mut self, row: Vec<f64>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(SeaError::invalid(format!(
+                "row arity mismatch in report {}: got {} values for {} columns",
+                self.id,
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
     /// Appends a row.
     ///
     /// # Panics
     ///
     /// Panics if the row's arity differs from the column count (programmer
-    /// error in an experiment runner).
+    /// error in an experiment runner); use [`Report::try_push_row`] to
+    /// handle the mismatch instead.
     pub fn push_row(&mut self, row: Vec<f64>) {
-        assert_eq!(
-            row.len(),
-            self.columns.len(),
-            "row arity mismatch in report {}",
-            self.id
-        );
-        self.rows.push(row);
+        if let Err(e) = self.try_push_row(row) {
+            panic!("{e}");
+        }
+    }
+
+    /// Serializes the report (id, title, columns, rows) as pretty JSON —
+    /// the machine-readable sibling of the `Display` markdown table.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failures surface as [`SeaError::Serde`].
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| SeaError::Serde(e.to_string()))
     }
 
     /// Value at `(row, column-name)`, if present.
@@ -125,6 +155,29 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Report::new("E0", "demo", &["a", "b"]);
         r.push_row(vec![1.0]);
+    }
+
+    #[test]
+    fn try_push_row_rejects_bad_arity_without_mutating() {
+        let mut r = Report::new("E0", "demo", &["a", "b"]);
+        assert!(r.try_push_row(vec![1.0, 2.0]).is_ok());
+        let err = r.try_push_row(vec![1.0]).unwrap_err();
+        assert!(
+            err.to_string().contains("row arity mismatch in report E0"),
+            "{err}"
+        );
+        assert!(r.try_push_row(vec![1.0, 2.0, 3.0]).is_err());
+        assert_eq!(r.rows.len(), 1, "failed pushes leave the table alone");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = Report::new("E0", "demo", &["n", "time_us"]);
+        r.push_row(vec![1000.0, 42.5]);
+        let json = r.to_json().unwrap();
+        assert!(json.contains("\"columns\""));
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

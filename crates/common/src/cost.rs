@@ -321,3 +321,125 @@ mod tests {
         assert_eq!(z.totals, CostMeter::default());
     }
 }
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary meter with realistically-bounded counters (the tuple
+    /// strategies top out at six fields, so the ten counters are grouped
+    /// as two quintuples).
+    fn meter() -> impl Strategy<Value = CostMeter> {
+        (
+            (
+                0..1_000u64,
+                0..1_000u64,
+                0..10_000_000u64,
+                0..1_000u64,
+                0..10_000_000u64,
+            ),
+            (
+                0..100u64,
+                0..10_000_000u64,
+                0..10_000_000u64,
+                0..1_000u64,
+                0..64u64,
+            ),
+        )
+            .prop_map(
+                |((seeks, points, dbytes, lmsgs, lbytes), (wmsgs, wbytes, recs, layers, nodes))| {
+                    CostMeter {
+                        disk_seeks: seeks,
+                        disk_point_reads: points,
+                        disk_bytes: dbytes,
+                        lan_msgs: lmsgs,
+                        lan_bytes: lbytes,
+                        wan_msgs: wmsgs,
+                        wan_bytes: wbytes,
+                        records_processed: recs,
+                        layer_crossings: layers,
+                        nodes_touched: nodes,
+                    }
+                },
+            )
+    }
+
+    fn merged(a: &CostMeter, b: &CostMeter) -> CostMeter {
+        let mut m = *a;
+        m.merge(b);
+        m
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn merge_is_commutative(a in meter(), b in meter()) {
+            prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        }
+
+        #[test]
+        fn merge_is_associative(a in meter(), b in meter(), c in meter()) {
+            prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+        }
+
+        #[test]
+        fn merge_totals_are_sums_of_parts(a in meter(), b in meter()) {
+            let m = merged(&a, &b);
+            prop_assert_eq!(m.disk_seeks, a.disk_seeks + b.disk_seeks);
+            prop_assert_eq!(m.disk_point_reads, a.disk_point_reads + b.disk_point_reads);
+            prop_assert_eq!(m.disk_bytes, a.disk_bytes + b.disk_bytes);
+            prop_assert_eq!(m.lan_msgs, a.lan_msgs + b.lan_msgs);
+            prop_assert_eq!(m.lan_bytes, a.lan_bytes + b.lan_bytes);
+            prop_assert_eq!(m.wan_msgs, a.wan_msgs + b.wan_msgs);
+            prop_assert_eq!(m.wan_bytes, a.wan_bytes + b.wan_bytes);
+            prop_assert_eq!(m.records_processed, a.records_processed + b.records_processed);
+            prop_assert_eq!(m.layer_crossings, a.layer_crossings + b.layer_crossings);
+            prop_assert_eq!(m.nodes_touched, a.nodes_touched + b.nodes_touched);
+        }
+
+        #[test]
+        fn merge_with_zero_is_identity(a in meter()) {
+            prop_assert_eq!(merged(&a, &CostMeter::new()), a);
+            prop_assert_eq!(merged(&CostMeter::new(), &a), a);
+        }
+
+        #[test]
+        fn sequential_time_is_additive_under_merge(a in meter(), b in meter()) {
+            let model = CostModel::default();
+            let lhs = merged(&a, &b).sequential_us(&model);
+            let rhs = a.sequential_us(&model) + b.sequential_us(&model);
+            prop_assert!(close(lhs, rhs), "{lhs} vs {rhs}");
+        }
+
+        #[test]
+        fn money_round_trips_from_totals_and_wall_clock(m in meter()) {
+            // A report's money must be reconstructible from its published
+            // totals and wall-clock — the CostModel time→money conversion
+            // loses no information.
+            let model = CostModel::default();
+            let report = m.report_sequential(&model);
+            let rebuilt = report.totals.nodes_touched.max(1) as f64 * report.wall_us / 1e6
+                * model.money_per_node_second
+                + report.totals.wan_bytes as f64 / 1e9 * model.money_per_wan_gb;
+            prop_assert!(close(report.money, rebuilt), "{} vs {rebuilt}", report.money);
+            prop_assert!(report.wall_us >= 0.0 && report.money >= 0.0);
+        }
+
+        #[test]
+        fn parallel_wall_clock_bounded_by_sequential(coord in meter(), a in meter(), b in meter()) {
+            // Parallelism can only help: slowest-node wall-clock is at most
+            // the fully-sequential time, and totals still sum everything.
+            let model = CostModel::default();
+            let report = coord.report_parallel([&a, &b], &model);
+            let sequential = merged(&merged(&coord, &a), &b).sequential_us(&model);
+            prop_assert!(report.wall_us <= sequential + 1e-9 * (1.0 + sequential));
+            prop_assert_eq!(report.totals, merged(&merged(&coord, &a), &b));
+        }
+    }
+}

@@ -9,6 +9,7 @@ use sea_common::{AggregateKind, AnalyticalQuery, AnswerValue, Rect, Result, SeaE
 use sea_ml::linreg::RecursiveLeastSquares;
 use sea_ml::quantize::{OnlineQuantizer, QuantizerParams};
 use sea_ml::Regressor;
+use sea_telemetry::TelemetrySink;
 
 /// Configuration of a [`SeaAgent`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -338,6 +339,9 @@ pub struct SeaAgent {
     dims: usize,
     pools: HashMap<AggKey, Pool>,
     training_queries: u64,
+    /// Telemetry sink for `core.agent.*` counters/events; not part of the
+    /// serialized model state.
+    telemetry: TelemetrySink,
 }
 
 /// The wire form of a [`SeaAgent`]: pools as explicit pairs (JSON maps
@@ -374,7 +378,14 @@ impl SeaAgent {
             dims,
             pools: HashMap::new(),
             training_queries: 0,
+            telemetry: TelemetrySink::default(),
         })
+    }
+
+    /// Attaches a telemetry sink for `core.agent.*` counters and events
+    /// (quantum spawns, train/predict volume).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Data dimensionality this agent serves.
@@ -422,9 +433,17 @@ impl SeaAgent {
             debug_assert_eq!(idx, pool.models.len());
             pool.models
                 .push(QuantumModel::new(feature_dims, pair, forget)?);
+            self.telemetry.event(
+                "core.agent.quantum_spawned",
+                &[
+                    ("quantum", idx.into()),
+                    ("pool_quanta", pool.models.len().into()),
+                ],
+            );
         }
         pool.models[idx].train(&features, answer, self.config.max_pairs_per_quantum)?;
         self.training_queries += 1;
+        self.telemetry.incr("core.agent.train_total", 1);
         Ok(())
     }
 
@@ -437,6 +456,7 @@ impl SeaAgent {
     /// result), or a dimension mismatch.
     pub fn predict(&self, query: &AnalyticalQuery) -> Result<Prediction> {
         SeaError::check_dims(self.dims, query.region.dims())?;
+        self.telemetry.incr("core.agent.predict_total", 1);
         let key = agg_key(&query.aggregate);
         let pool = self
             .pools
@@ -585,12 +605,7 @@ impl SeaAgent {
         let mut out = SeaAgent::new(self.dims, self.config.clone())?;
         for (key, pool) in &self.pools {
             let mut new_pool: Option<Pool> = None;
-            for (proto, model) in pool
-                .quantizer
-                .prototypes()
-                .iter()
-                .zip(pool.models.iter())
-            {
+            for (proto, model) in pool.quantizer.prototypes().iter().zip(pool.models.iter()) {
                 let dims = region.dims();
                 let centre = &proto.position[..dims];
                 let extents = &proto.position[dims..2 * dims];
@@ -663,6 +678,7 @@ impl SeaAgent {
             dims: wire.dims,
             pools: wire.pools.into_iter().collect(),
             training_queries: wire.training_queries,
+            telemetry: TelemetrySink::default(),
         })
     }
 

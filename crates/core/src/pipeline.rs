@@ -10,6 +10,7 @@
 
 use sea_common::{AnalyticalQuery, AnswerValue, CostReport, Result};
 use sea_query::Executor;
+use sea_telemetry::TelemetrySink;
 
 use crate::agent::{AgentConfig, SeaAgent};
 
@@ -60,6 +61,7 @@ pub struct AgentPipeline {
     /// keep improving after the training phase. 0 disables audits.
     refresh_every: u64,
     predictions_since_audit: u64,
+    telemetry: TelemetrySink,
 }
 
 impl AgentPipeline {
@@ -82,6 +84,7 @@ impl AgentPipeline {
             mode,
             refresh_every: 8,
             predictions_since_audit: 0,
+            telemetry: TelemetrySink::default(),
         })
     }
 
@@ -90,6 +93,16 @@ impl AgentPipeline {
     #[must_use]
     pub fn with_refresh_every(mut self, n: u64) -> Self {
         self.refresh_every = n;
+        self
+    }
+
+    /// Attaches a telemetry sink: `core.pipeline.process` spans plus
+    /// `agent.predicted` / `agent.fallback` / `agent.trained` decision
+    /// events flow into it (the inner agent is instrumented too).
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.agent.set_telemetry(sink.clone());
+        self.telemetry = sink;
         self
     }
 
@@ -121,11 +134,25 @@ impl AgentPipeline {
         executor: &Executor<'_>,
         query: &AnalyticalQuery,
     ) -> Result<ProcessOutcome> {
+        let span = self.telemetry.span("core.pipeline.process");
+        let mut fallback_reason = "untrained";
+        // −1 = the agent produced no estimate at all (kept finite so the
+        // payload survives JSON round-trips).
+        let mut fallback_est_error = -1.0;
         if let Ok(pred) = self.agent.predict(query) {
             let audit_due =
                 self.refresh_every > 0 && self.predictions_since_audit + 1 >= self.refresh_every;
             if pred.estimated_error <= self.error_threshold && !audit_due {
                 self.predictions_since_audit += 1;
+                self.telemetry.event(
+                    "agent.predicted",
+                    &[
+                        ("est_error", pred.estimated_error.into()),
+                        ("threshold", self.error_threshold.into()),
+                        ("quantum", pred.quantum.into()),
+                        ("quantum_training", pred.quantum_training.into()),
+                    ],
+                );
                 return Ok(ProcessOutcome {
                     answer: pred.answer,
                     cost: CostReport::zero(),
@@ -134,13 +161,35 @@ impl AgentPipeline {
                     },
                 });
             }
+            fallback_reason = if audit_due {
+                "audit_due"
+            } else {
+                "error_above_threshold"
+            };
+            fallback_est_error = pred.estimated_error;
         }
+        self.telemetry.event(
+            "agent.fallback",
+            &[
+                ("reason", fallback_reason.into()),
+                ("est_error", fallback_est_error.into()),
+                ("threshold", self.error_threshold.into()),
+            ],
+        );
         self.predictions_since_audit = 0;
         let outcome = match self.mode {
             ExecMode::Bdas => executor.execute_bdas(&self.table, query)?,
             ExecMode::Direct => executor.execute_direct(&self.table, query)?,
         };
+        span.record_sim_us(outcome.cost.wall_us);
         self.agent.train(query, &outcome.answer)?;
+        self.telemetry.event(
+            "agent.trained",
+            &[(
+                "training_queries",
+                self.agent.stats().training_queries.into(),
+            )],
+        );
         Ok(ProcessOutcome {
             answer: outcome.answer,
             cost: outcome.cost,

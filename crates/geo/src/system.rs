@@ -692,16 +692,12 @@ mod routing_tests {
         for i in 0..120 {
             let e = 3.0 + (i % 15) as f64 * 0.3;
             let left = AnalyticalQuery::new(
-                Region::Range(
-                    Rect::centered(&Point::new(vec![25.0, 50.0]), &[e, e]).unwrap(),
-                ),
+                Region::Range(Rect::centered(&Point::new(vec![25.0, 50.0]), &[e, e]).unwrap()),
                 AggregateKind::Count,
             );
             geo.submit(0, &left).unwrap();
             let right = AnalyticalQuery::new(
-                Region::Range(
-                    Rect::centered(&Point::new(vec![75.0, 50.0]), &[e, e]).unwrap(),
-                ),
+                Region::Range(Rect::centered(&Point::new(vec![75.0, 50.0]), &[e, e]).unwrap()),
                 AggregateKind::Count,
             );
             geo.submit(0, &right).unwrap();
@@ -720,9 +716,7 @@ mod routing_tests {
         for i in 0..20 {
             let e = 3.0 + (i % 15) as f64 * 0.3;
             let q = AnalyticalQuery::new(
-                Region::Range(
-                    Rect::centered(&Point::new(vec![25.0, 50.0]), &[e, e]).unwrap(),
-                ),
+                Region::Range(Rect::centered(&Point::new(vec![25.0, 50.0]), &[e, e]).unwrap()),
                 AggregateKind::Count,
             );
             if geo.submit(1, &q).unwrap().source == GeoSource::EdgeModel {

@@ -5,6 +5,7 @@ use sea_common::{
     Record, Result,
 };
 use sea_storage::{StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
+use sea_telemetry::TelemetrySink;
 
 /// The outcome of executing one analytical query: the exact answer plus
 /// the full resource bill.
@@ -44,14 +45,18 @@ impl Partial {
 pub struct Executor<'a> {
     cluster: &'a StorageCluster,
     cost_model: CostModel,
+    telemetry: TelemetrySink,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor using the default [`CostModel`].
+    /// Creates an executor using the default [`CostModel`]. The executor
+    /// inherits the cluster's telemetry sink, so instrumenting the
+    /// cluster instruments the whole exact query path.
     pub fn new(cluster: &'a StorageCluster) -> Self {
         Executor {
             cluster,
             cost_model: CostModel::default(),
+            telemetry: cluster.telemetry().clone(),
         }
     }
 
@@ -60,7 +65,20 @@ impl<'a> Executor<'a> {
         Executor {
             cluster,
             cost_model,
+            telemetry: cluster.telemetry().clone(),
         }
+    }
+
+    /// Overrides the telemetry sink inherited from the cluster.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// The executor's telemetry sink.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// The executor's cost model.
@@ -78,26 +96,42 @@ impl<'a> Executor<'a> {
     /// Missing table, dimension mismatch, or aggregate errors (e.g. an
     /// operator undefined on an empty selection).
     pub fn execute_bdas(&self, table: &str, query: &AnalyticalQuery) -> Result<QueryOutcome> {
+        let _exec_span = self.telemetry.span("query.executor.bdas");
+        self.telemetry.incr("query.executor.bdas_queries", 1);
         query.aggregate.validate(self.cluster.dims(table)?)?;
         let mut node_meters = Vec::with_capacity(self.cluster.num_nodes());
         let mut partials = Vec::with_capacity(self.cluster.num_nodes());
-        for node in 0..self.cluster.num_nodes() {
-            let mut meter = CostMeter::new();
-            meter.touch_node(BDAS_LAYERS);
-            let records = self.cluster.scan_node(table, node, &mut meter)?;
-            let matched: Vec<&Record> = records
-                .into_iter()
-                .filter(|r| query.region.contains_record(r))
-                .collect();
-            let partial = make_partial(&query.aggregate, &matched);
-            meter.charge_lan(partial.wire_bytes());
-            partials.push(partial);
-            node_meters.push(meter);
+        {
+            let scatter = self.telemetry.span("query.executor.scatter");
+            for node in 0..self.cluster.num_nodes() {
+                let mut meter = CostMeter::new();
+                meter.touch_node(BDAS_LAYERS);
+                let records = self.cluster.scan_node(table, node, &mut meter)?;
+                let matched: Vec<&Record> = records
+                    .into_iter()
+                    .filter(|r| query.region.contains_record(r))
+                    .collect();
+                let partial = make_partial(&query.aggregate, &matched);
+                meter.charge_lan(partial.wire_bytes());
+                partials.push(partial);
+                node_meters.push(meter);
+            }
+            // Nodes run in parallel: the scatter phase lasts as long as
+            // its slowest node under the cost model.
+            scatter.record_sim_us(
+                node_meters
+                    .iter()
+                    .map(|m| m.sequential_us(&self.cost_model))
+                    .fold(0.0, f64::max),
+            );
         }
+        let gather = self.telemetry.span("query.executor.gather");
         let mut coord = CostMeter::new();
         coord.charge_cpu(partials.len() as u64);
         let answer = merge_partials(&query.aggregate, partials)?;
         let cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
+        gather.record_sim_us(coord.sequential_us(&self.cost_model));
+        drop(gather);
         Ok(QueryOutcome { answer, cost })
     }
 
@@ -110,6 +144,8 @@ impl<'a> Executor<'a> {
     ///
     /// As [`Executor::execute_bdas`].
     pub fn execute_direct(&self, table: &str, query: &AnalyticalQuery) -> Result<QueryOutcome> {
+        let _exec_span = self.telemetry.span("query.executor.direct");
+        self.telemetry.incr("query.executor.direct_queries", 1);
         query.aggregate.validate(self.cluster.dims(table)?)?;
         let bbox = query.region.bounding_rect();
         let candidates = self.cluster.nodes_for_region(table, &bbox)?;
@@ -117,25 +153,37 @@ impl<'a> Executor<'a> {
         // One request message per engaged node.
         let mut node_meters = Vec::with_capacity(candidates.len());
         let mut partials = Vec::with_capacity(candidates.len());
-        for node in candidates {
-            coord.charge_lan(64);
-            let mut meter = CostMeter::new();
-            meter.touch_node(DIRECT_LAYERS);
-            let in_bbox = self
-                .cluster
-                .scan_node_region(table, node, &bbox, &mut meter)?;
-            let matched: Vec<&Record> = in_bbox
-                .into_iter()
-                .filter(|r| query.region.contains_record(r))
-                .collect();
-            let partial = make_partial(&query.aggregate, &matched);
-            meter.charge_lan(partial.wire_bytes());
-            partials.push(partial);
-            node_meters.push(meter);
+        {
+            let scatter = self.telemetry.span("query.executor.scatter");
+            for node in candidates {
+                coord.charge_lan(64);
+                let mut meter = CostMeter::new();
+                meter.touch_node(DIRECT_LAYERS);
+                let in_bbox = self
+                    .cluster
+                    .scan_node_region(table, node, &bbox, &mut meter)?;
+                let matched: Vec<&Record> = in_bbox
+                    .into_iter()
+                    .filter(|r| query.region.contains_record(r))
+                    .collect();
+                let partial = make_partial(&query.aggregate, &matched);
+                meter.charge_lan(partial.wire_bytes());
+                partials.push(partial);
+                node_meters.push(meter);
+            }
+            scatter.record_sim_us(
+                node_meters
+                    .iter()
+                    .map(|m| m.sequential_us(&self.cost_model))
+                    .fold(0.0, f64::max),
+            );
         }
+        let gather = self.telemetry.span("query.executor.gather");
         coord.charge_cpu(partials.len() as u64);
         let answer = merge_partials(&query.aggregate, partials)?;
         let cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
+        gather.record_sim_us(coord.sequential_us(&self.cost_model));
+        drop(gather);
         Ok(QueryOutcome { answer, cost })
     }
 }

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use sea_common::{CostMeter, Record, Rect, Result, SeaError};
+use sea_telemetry::TelemetrySink;
 
 use crate::node::DataNode;
 use crate::partition::{NodeId, Partitioning};
@@ -68,6 +69,10 @@ pub struct StorageCluster {
     /// partitions are served by the next node's replica (when present).
     down: Vec<bool>,
     tables: HashMap<String, TableMeta>,
+    /// Telemetry sink for `storage.*` spans/events. Not part of the
+    /// cluster's persistent state; defaults to the no-op sink.
+    #[serde(skip)]
+    telemetry: TelemetrySink,
 }
 
 impl StorageCluster {
@@ -85,6 +90,7 @@ impl StorageCluster {
             replication: 1,
             down: vec![false; n_nodes],
             tables: HashMap::new(),
+            telemetry: TelemetrySink::default(),
         }
     }
 
@@ -103,12 +109,27 @@ impl StorageCluster {
             replication: 2,
             down: vec![false; n_nodes],
             tables: HashMap::new(),
+            telemetry: TelemetrySink::default(),
         }
     }
 
     /// The cluster's replication factor (1 = no replicas).
     pub fn replication(&self) -> usize {
         self.replication
+    }
+
+    /// Attaches a telemetry sink; `storage.*` spans, counters, and events
+    /// flow into it. Engines built on top of the cluster (e.g. the exact
+    /// executor) inherit this sink, so attaching one here instruments the
+    /// whole read path.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+
+    /// The cluster's telemetry sink (no-op unless
+    /// [`StorageCluster::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// Marks node `node` as failed: reads of its partitions either fail
@@ -264,7 +285,24 @@ impl StorageCluster {
     /// [`SeaError::NotFound`] when the table does not exist.
     pub fn nodes_for_region(&self, name: &str, region: &Rect) -> Result<Vec<NodeId>> {
         let meta = self.meta(name)?;
-        Ok(meta.partitioning.nodes_for_region(region, self.n_nodes))
+        let candidates = meta.partitioning.nodes_for_region(region, self.n_nodes);
+        self.telemetry.incr("storage.cluster.prune_checks", 1);
+        if candidates.len() < self.n_nodes {
+            let pruned = self.n_nodes - candidates.len();
+            self.telemetry
+                .incr("storage.cluster.nodes_pruned", pruned as u64);
+            self.telemetry.event(
+                "storage.partition_pruned",
+                &[
+                    ("table", name.into()),
+                    ("partitioning", meta.partitioning.kind().into()),
+                    ("candidates", candidates.len().into()),
+                    ("pruned", pruned.into()),
+                    ("total_nodes", self.n_nodes.into()),
+                ],
+            );
+        }
+        Ok(candidates)
     }
 
     /// Full scan of table `name` on node `node`, charging `meter` for disk
@@ -283,7 +321,42 @@ impl StorageCluster {
     ) -> Result<Vec<&'a Record>> {
         let meta = self.meta(name)?;
         let n = self.serving_copy(meta, node)?;
-        Ok(n.scan_all(meter))
+        let _span = self.telemetry.span("storage.node.scan");
+        let (records, stats) = n.scan_all_stats(meter);
+        self.note_scan(name, node, "full", &stats);
+        Ok(records)
+    }
+
+    /// Records one node scan into the telemetry sink (no-op when
+    /// disabled): `storage.node.*` counters plus a `storage.node.scanned`
+    /// event carrying the pruning outcome. Simulated time lives on the
+    /// executor's scatter span (only it knows the cost model); storage
+    /// spans carry wall time.
+    fn note_scan(&self, table: &str, node: NodeId, kind: &str, stats: &crate::node::ScanStats) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.incr("storage.node.scans", 1);
+        self.telemetry
+            .incr("storage.node.blocks_read", stats.blocks_read as u64);
+        self.telemetry.incr(
+            "storage.node.blocks_pruned",
+            (stats.blocks_total - stats.blocks_read) as u64,
+        );
+        self.telemetry
+            .incr("storage.node.bytes_read", stats.bytes_read);
+        self.telemetry.event(
+            "storage.node.scanned",
+            &[
+                ("table", table.into()),
+                ("node", node.into()),
+                ("kind", kind.into()),
+                ("blocks_read", stats.blocks_read.into()),
+                ("blocks_total", stats.blocks_total.into()),
+                ("bytes_read", stats.bytes_read.into()),
+                ("records_returned", stats.records_returned.into()),
+            ],
+        );
     }
 
     /// The [`DataNode`] that can serve partition `node`'s data right now:
@@ -325,7 +398,10 @@ impl StorageCluster {
         let meta = self.meta(name)?;
         SeaError::check_dims(meta.dims, region.dims())?;
         let n = self.serving_copy(meta, node)?;
-        Ok(n.scan_region(region, meter))
+        let _span = self.telemetry.span("storage.node.scan");
+        let (records, stats) = n.scan_region_stats(region, meter);
+        self.note_scan(name, node, "region", &stats);
+        Ok(records)
     }
 
     /// Inserts additional records into an existing table (appended as new

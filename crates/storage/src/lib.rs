@@ -28,7 +28,7 @@ pub mod node;
 pub mod partition;
 
 pub use cluster::{BlockCatalogEntry, StorageCluster, TableStats};
-pub use node::{Block, DataNode};
+pub use node::{Block, DataNode, ScanStats};
 pub use partition::{NodeId, Partitioning};
 
 /// Software layers a MapReduce-style BDAS job crosses per engaged node:

@@ -83,6 +83,21 @@ fn bounds_of(records: &[Record]) -> Option<Rect> {
     Rect::new(lo, hi).ok()
 }
 
+/// What one scan of a [`DataNode`] actually touched — the raw material
+/// for `storage.node.*` telemetry (block counts and bytes are not
+/// recoverable from a [`CostMeter`] alone once merged upstream).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Blocks the node holds for the scanned table.
+    pub blocks_total: usize,
+    /// Blocks whose contents were actually read.
+    pub blocks_read: usize,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// Records returned to the caller (post-filtering).
+    pub records_returned: usize,
+}
+
 /// One simulated data-server node: a list of blocks per table.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DataNode {
@@ -132,13 +147,27 @@ impl DataNode {
     /// charged separately by callers via `touch_node`). Returns references
     /// to all records.
     pub fn scan_all<'a>(&'a self, meter: &mut CostMeter) -> Vec<&'a Record> {
+        self.scan_all_stats(meter).0
+    }
+
+    /// [`DataNode::scan_all`] plus the [`ScanStats`] describing what the
+    /// scan touched (identical cost charges).
+    pub fn scan_all_stats<'a>(&'a self, meter: &mut CostMeter) -> (Vec<&'a Record>, ScanStats) {
         let mut out = Vec::with_capacity(self.len());
+        let mut bytes_read = 0u64;
         for b in &self.blocks {
             meter.charge_disk_read(b.bytes());
             meter.charge_cpu(b.len() as u64);
+            bytes_read += b.bytes();
             out.extend(b.records().iter());
         }
-        out
+        let stats = ScanStats {
+            blocks_total: self.blocks.len(),
+            blocks_read: self.blocks.len(),
+            bytes_read,
+            records_returned: out.len(),
+        };
+        (out, stats)
     }
 
     /// Reads only blocks whose bounds intersect `region`, charging `meter`
@@ -147,14 +176,26 @@ impl DataNode {
     /// returns the records inside `region`'s bounding box. Blocks with no
     /// bounds (empty) are skipped free.
     pub fn scan_region<'a>(&'a self, region: &Rect, meter: &mut CostMeter) -> Vec<&'a Record> {
+        self.scan_region_stats(region, meter).0
+    }
+
+    /// [`DataNode::scan_region`] plus the [`ScanStats`] describing how
+    /// many blocks the zone maps pruned (identical cost charges).
+    pub fn scan_region_stats<'a>(
+        &'a self,
+        region: &Rect,
+        meter: &mut CostMeter,
+    ) -> (Vec<&'a Record>, ScanStats) {
         let mut out = Vec::new();
         let mut read_bytes = 0u64;
+        let mut blocks_read = 0usize;
         for b in &self.blocks {
             let Some(bounds) = b.bounds() else { continue };
             if !bounds.intersects(region) {
                 continue; // zone map consulted, block skipped: free
             }
             read_bytes += b.bytes();
+            blocks_read += 1;
             meter.charge_cpu(b.len() as u64);
             out.extend(b.records().iter().filter(|r| {
                 r.dims() == region.dims()
@@ -167,7 +208,13 @@ impl DataNode {
         if read_bytes > 0 {
             meter.charge_disk_read(read_bytes);
         }
-        out
+        let stats = ScanStats {
+            blocks_total: self.blocks.len(),
+            blocks_read,
+            bytes_read: read_bytes,
+            records_returned: out.len(),
+        };
+        (out, stats)
     }
 
     /// Deletes records matching `pred`, rebuilding affected blocks.

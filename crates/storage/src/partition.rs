@@ -28,6 +28,15 @@ pub enum Partitioning {
 }
 
 impl Partitioning {
+    /// Short policy name (`"hash"` / `"range"`) used in telemetry event
+    /// payloads such as `storage.partition_pruned`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Partitioning::Hash => "hash",
+            Partitioning::Range { .. } => "range",
+        }
+    }
+
     /// The node a record belongs to, given `n_nodes` nodes.
     pub fn node_for(&self, record: &Record, n_nodes: usize) -> NodeId {
         match self {

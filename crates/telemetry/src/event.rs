@@ -1,0 +1,182 @@
+//! Bounded per-query event log: a ring buffer of structured decision
+//! events (`agent.predicted`, `storage.partition_pruned`, …).
+//!
+//! The ring keeps the most recent events; per-name totals are kept
+//! separately so "did the agent ever fall back?" stays answerable after
+//! eviction.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Maximum events retained in the ring buffer.
+const MAX_EVENTS: usize = 4096;
+
+/// A structured payload value attached to an event field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+#[derive(Debug, Default)]
+struct EventState {
+    ring: VecDeque<EventSnapshot>,
+    seq: u64,
+    evicted: u64,
+    totals_by_name: HashMap<String, u64>,
+}
+
+/// Event backend owned by a [`crate::Recorder`].
+#[derive(Debug, Default)]
+pub(crate) struct EventLog {
+    state: Mutex<EventState>,
+}
+
+impl EventLog {
+    pub(crate) fn push(&self, name: &str, query: Option<u64>, fields: &[(&str, FieldValue)]) {
+        let mut state = self.state.lock();
+        let seq = state.seq;
+        state.seq += 1;
+        *state.totals_by_name.entry(name.to_string()).or_default() += 1;
+        if state.ring.len() == MAX_EVENTS {
+            state.ring.pop_front();
+            state.evicted += 1;
+        }
+        state.ring.push_back(EventSnapshot {
+            seq,
+            query,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    pub(crate) fn snapshot(&self) -> EventLogSnapshot {
+        let state = self.state.lock();
+        let mut totals: Vec<(String, u64)> = state
+            .totals_by_name
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        totals.sort_by(|a, b| a.0.cmp(&b.0));
+        EventLogSnapshot {
+            events: state.ring.iter().cloned().collect(),
+            evicted: state.evicted,
+            totals_by_name: totals,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSnapshot {
+    /// Monotonic sequence number (survives ring eviction).
+    pub seq: u64,
+    /// Query id active when the event fired, if any.
+    pub query: Option<u64>,
+    pub name: String,
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// The retained tail of the event stream plus per-name totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLogSnapshot {
+    pub events: Vec<EventSnapshot>,
+    /// Events dropped from the front of the ring.
+    pub evicted: u64,
+    /// Lifetime event counts per name, sorted by name.
+    pub totals_by_name: Vec<(String, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_but_totals_survive() {
+        let log = EventLog::default();
+        for _ in 0..(MAX_EVENTS + 5) {
+            log.push("e", None, &[]);
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.events.len(), MAX_EVENTS);
+        assert_eq!(snap.evicted, 5);
+        assert_eq!(snap.totals_by_name[0].1, (MAX_EVENTS + 5) as u64);
+        assert_eq!(snap.events[0].seq, 5);
+    }
+
+    #[test]
+    fn fields_preserve_order_and_types() {
+        let log = EventLog::default();
+        log.push(
+            "agent.predicted",
+            Some(3),
+            &[
+                ("est_error", 0.01.into()),
+                ("quantum", 2u64.into()),
+                ("reason", "below_threshold".into()),
+            ],
+        );
+        let snap = log.snapshot();
+        let e = &snap.events[0];
+        assert_eq!(e.query, Some(3));
+        assert_eq!(e.fields[0].1, FieldValue::F64(0.01));
+        assert_eq!(e.fields[1].1, FieldValue::U64(2));
+        assert_eq!(e.fields[2].1, FieldValue::Str("below_threshold".into()));
+    }
+}

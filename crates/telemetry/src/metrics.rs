@@ -1,0 +1,296 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Registration takes a short registry lock; recording through a
+//! [`Counter`] handle is a single relaxed atomic add, and histogram
+//! observations take only that histogram's own mutex, so the hot path
+//! never contends on the registry itself.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+/// Upper bucket bounds (microseconds or any unit the caller picks) in a
+/// 1–2–5 decade ladder; one implicit overflow bucket sits above the
+/// last bound.
+pub const DEFAULT_BUCKET_BOUNDS: [f64; 31] = [
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4,
+    5e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+];
+
+/// Handle to a registered counter; increments are lock-free. A handle
+/// from a `Noop` sink silently discards increments.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub(crate) fn new(cell: Option<Arc<AtomicU64>>) -> Self {
+        Self(cell)
+    }
+
+    pub fn add(&self, by: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(by, Ordering::Relaxed);
+        }
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramCell {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Shared registry behind a recording sink.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Mutex<HistogramCell>>>>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(cell) = self.counters.read().get(name) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    pub(crate) fn gauge_set(&self, name: &str, value: f64) {
+        // The read guard must drop before the write() below — holding it
+        // across the write acquisition deadlocks the (non-reentrant) lock.
+        let existing = self.gauges.read().get(name).map(Arc::clone);
+        let cell = match existing {
+            Some(cell) => cell,
+            None => Arc::clone(self.gauges.write().entry(name.to_string()).or_default()),
+        };
+        cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe(&self, name: &str, value: f64) {
+        let existing = self.histograms.read().get(name).map(Arc::clone);
+        let cell = match existing {
+            Some(cell) => cell,
+            None => Arc::clone(self.histograms.write().entry(name.to_string()).or_default()),
+        };
+        let mut h = cell.lock();
+        if h.counts.is_empty() {
+            h.counts = vec![0; DEFAULT_BUCKET_BOUNDS.len() + 1];
+            h.min = f64::INFINITY;
+            h.max = f64::NEG_INFINITY;
+        }
+        let idx = DEFAULT_BUCKET_BOUNDS
+            .iter()
+            .position(|bound| value <= *bound)
+            .unwrap_or(DEFAULT_BUCKET_BOUNDS.len());
+        h.counts[idx] += 1;
+        h.count += 1;
+        h.sum += value;
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+
+    pub(crate) fn counter_snapshots(&self) -> Vec<CounterSnapshot> {
+        let mut out: Vec<CounterSnapshot> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(name, cell)| CounterSnapshot {
+                name: name.clone(),
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    pub(crate) fn gauge_snapshots(&self) -> Vec<GaugeSnapshot> {
+        let mut out: Vec<GaugeSnapshot> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(name, cell)| GaugeSnapshot {
+                name: name.clone(),
+                value: f64::from_bits(cell.load(Ordering::Relaxed)),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    pub(crate) fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        let mut out: Vec<HistogramSnapshot> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(name, cell)| summarize(name, &cell.lock()))
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+fn summarize(name: &str, h: &HistogramCell) -> HistogramSnapshot {
+    let buckets: Vec<BucketSnapshot> = h
+        .counts
+        .iter()
+        .enumerate()
+        .map(|(i, count)| BucketSnapshot {
+            le: DEFAULT_BUCKET_BOUNDS.get(i).copied().unwrap_or(f64::MAX),
+            count: *count,
+        })
+        .collect();
+    HistogramSnapshot {
+        name: name.to_string(),
+        count: h.count,
+        min: if h.count == 0 { 0.0 } else { h.min },
+        max: if h.count == 0 { 0.0 } else { h.max },
+        mean: if h.count == 0 {
+            0.0
+        } else {
+            h.sum / h.count as f64
+        },
+        p50: percentile(h, 0.50),
+        p95: percentile(h, 0.95),
+        p99: percentile(h, 0.99),
+        buckets,
+    }
+}
+
+/// Percentile estimate: locate the bucket where the cumulative count
+/// crosses `q·total`, then interpolate linearly inside its bounds
+/// (clamped to the observed min/max so estimates never leave the data
+/// range).
+fn percentile(h: &HistogramCell, q: f64) -> f64 {
+    if h.count == 0 {
+        return 0.0;
+    }
+    let target = q * h.count as f64;
+    let mut cumulative = 0u64;
+    for (i, count) in h.counts.iter().enumerate() {
+        if *count == 0 {
+            continue;
+        }
+        let before = cumulative as f64;
+        cumulative += count;
+        if cumulative as f64 >= target {
+            let lower = if i == 0 {
+                h.min
+            } else {
+                DEFAULT_BUCKET_BOUNDS[i - 1].max(h.min)
+            };
+            let upper = DEFAULT_BUCKET_BOUNDS
+                .get(i)
+                .copied()
+                .unwrap_or(h.max)
+                .min(h.max);
+            let fraction = ((target - before) / *count as f64).clamp(0.0, 1.0);
+            return (lower + fraction * (upper - lower)).clamp(h.min, h.max);
+        }
+    }
+    h.max
+}
+
+/// Serializable counter reading.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    pub name: String,
+    pub value: u64,
+}
+
+/// Serializable gauge reading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    pub name: String,
+    pub value: f64,
+}
+
+/// One histogram bucket: observations `≤ le` (cumulative style is left
+/// to consumers; counts here are per-bucket).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    pub le: f64,
+    pub count: u64,
+}
+
+/// Serializable histogram summary with interpolated percentiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_ordered_and_plausible() {
+        let reg = MetricsRegistry::default();
+        for i in 1..=1000 {
+            reg.observe("lat", f64::from(i));
+        }
+        let snap = &reg.histogram_snapshots()[0];
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.min, 1.0);
+        assert_eq!(snap.max, 1000.0);
+        assert!(snap.p50 > 300.0 && snap.p50 < 700.0, "p50 {}", snap.p50);
+        assert!(snap.p95 > 800.0, "p95 {}", snap.p95);
+        assert!(snap.p99 >= snap.p95 && snap.p99 <= snap.max);
+    }
+
+    #[test]
+    fn single_observation_collapses_percentiles() {
+        let reg = MetricsRegistry::default();
+        reg.observe("one", 42.0);
+        let snap = &reg.histogram_snapshots()[0];
+        assert_eq!(snap.p50, 42.0);
+        assert_eq!(snap.p99, 42.0);
+        assert_eq!(snap.mean, 42.0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let reg = MetricsRegistry::default();
+        reg.observe("big", 1e12);
+        let snap = &reg.histogram_snapshots()[0];
+        assert_eq!(snap.buckets.last().unwrap().count, 1);
+        assert_eq!(snap.p50, 1e12);
+    }
+
+    #[test]
+    fn counters_accumulate_across_handles() {
+        let reg = MetricsRegistry::default();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.fetch_add(2, Ordering::Relaxed);
+        b.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(reg.counter_snapshots()[0].value, 5);
+    }
+
+    #[test]
+    fn gauges_keep_last_write() {
+        let reg = MetricsRegistry::default();
+        reg.gauge_set("g", 1.5);
+        reg.gauge_set("g", -2.5);
+        assert_eq!(reg.gauge_snapshots()[0].value, -2.5);
+    }
+}

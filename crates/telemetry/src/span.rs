@@ -1,0 +1,229 @@
+//! Nested timing spans with wall-clock and simulated-cost attribution.
+//!
+//! [`SpanGuard`]s form a per-recorder stack: a span opened while another
+//! guard is live becomes its child, so instrumented layers compose into
+//! a tree (`bench.query` → `core.pipeline.process` →
+//! `query.executor.scan` → `storage.node.scan`) without any explicit
+//! plumbing between them. Completed root trees are kept up to a bound;
+//! beyond it only a drop counter grows, keeping memory flat over long
+//! runs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::Recorder;
+
+/// Maximum completed root spans retained in a snapshot.
+const MAX_ROOT_SPANS: usize = 128;
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: String,
+    started: Instant,
+    sim_us: f64,
+    children: Vec<SpanNode>,
+}
+
+#[derive(Debug, Default)]
+struct SpanState {
+    open: Vec<OpenSpan>,
+    roots: Vec<SpanNode>,
+    dropped_roots: u64,
+}
+
+/// Span backend owned by a [`Recorder`].
+#[derive(Debug, Default)]
+pub(crate) struct SpanRecorder {
+    state: Mutex<SpanState>,
+}
+
+impl SpanRecorder {
+    pub(crate) fn enter(&self, recorder: Arc<Recorder>, name: &str) -> SpanGuard {
+        let mut state = self.state.lock();
+        state.open.push(OpenSpan {
+            name: name.to_string(),
+            started: Instant::now(),
+            sim_us: 0.0,
+            children: Vec::new(),
+        });
+        SpanGuard {
+            recorder: Some(recorder),
+            depth: state.open.len(),
+        }
+    }
+
+    fn add_sim_us(&self, depth: usize, us: f64) {
+        let mut state = self.state.lock();
+        if let Some(span) = state.open.get_mut(depth - 1) {
+            span.sim_us += us;
+        }
+    }
+
+    /// Closes the span opened at `depth`, folding any still-open
+    /// descendants (guards leaked or dropped out of order) into it.
+    fn exit(&self, depth: usize) {
+        let mut state = self.state.lock();
+        while state.open.len() >= depth {
+            let open = state.open.pop().expect("span stack underflow");
+            let node = SpanNode {
+                name: open.name,
+                wall_us: open.started.elapsed().as_secs_f64() * 1e6,
+                sim_us: open.sim_us,
+                children: open.children,
+            };
+            match state.open.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => {
+                    if state.roots.len() < MAX_ROOT_SPANS {
+                        state.roots.push(node);
+                    } else {
+                        state.dropped_roots += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> SpanForestSnapshot {
+        let state = self.state.lock();
+        SpanForestSnapshot {
+            roots: state.roots.clone(),
+            open_spans: state.open.len() as u64,
+            dropped_roots: state.dropped_roots,
+        }
+    }
+}
+
+/// RAII guard for one span; records on drop. Obtained from
+/// [`crate::TelemetrySink::span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    recorder: Option<Arc<Recorder>>,
+    depth: usize,
+}
+
+impl SpanGuard {
+    pub(crate) fn noop() -> Self {
+        Self {
+            recorder: None,
+            depth: 0,
+        }
+    }
+
+    /// Attributes simulated cost (microseconds of modelled latency) to
+    /// this span.
+    pub fn record_sim_us(&self, us: f64) {
+        if let Some(r) = &self.recorder {
+            r.spans.add_sim_us(self.depth, us);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(r) = self.recorder.take() {
+            r.spans.exit(self.depth);
+        }
+    }
+}
+
+/// One completed span: a node in the per-query timing tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    pub name: String,
+    /// Measured wall-clock duration of the span.
+    pub wall_us: f64,
+    /// Simulated cost attributed via [`SpanGuard::record_sim_us`]
+    /// (excludes children's attributions).
+    pub sim_us: f64,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// This span's simulated cost including all descendants.
+    pub fn sim_us_total(&self) -> f64 {
+        self.sim_us
+            + self
+                .children
+                .iter()
+                .map(SpanNode::sim_us_total)
+                .sum::<f64>()
+    }
+}
+
+/// All completed root span trees plus bookkeeping about what was
+/// dropped or still open at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanForestSnapshot {
+    pub roots: Vec<SpanNode>,
+    /// Spans still open when the snapshot was taken (not included in
+    /// `roots`).
+    pub open_spans: u64,
+    /// Completed root trees discarded after the retention bound filled.
+    pub dropped_roots: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TelemetrySink;
+
+    #[test]
+    fn sibling_spans_attach_to_the_same_parent() {
+        let sink = TelemetrySink::recording();
+        {
+            let _root = sink.span("root");
+            {
+                let _a = sink.span("a");
+            }
+            {
+                let _b = sink.span("b");
+            }
+        }
+        let snap = sink.snapshot().unwrap();
+        let root = &snap.spans.roots[0];
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn sim_total_rolls_up_descendants() {
+        let sink = TelemetrySink::recording();
+        {
+            let root = sink.span("root");
+            root.record_sim_us(1.0);
+            let child = sink.span("child");
+            child.record_sim_us(2.0);
+        }
+        let snap = sink.snapshot().unwrap();
+        let root = &snap.spans.roots[0];
+        assert_eq!(root.sim_us, 1.0);
+        assert_eq!(root.sim_us_total(), 3.0);
+    }
+
+    #[test]
+    fn root_retention_is_bounded() {
+        let sink = TelemetrySink::recording();
+        for _ in 0..(super::MAX_ROOT_SPANS + 10) {
+            let _s = sink.span("q");
+        }
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.spans.roots.len(), super::MAX_ROOT_SPANS);
+        assert_eq!(snap.spans.dropped_roots, 10);
+    }
+
+    #[test]
+    fn out_of_order_drop_folds_children() {
+        let sink = TelemetrySink::recording();
+        let outer = sink.span("outer");
+        let inner = sink.span("inner");
+        drop(outer); // inner is folded into outer rather than leaking
+        drop(inner); // stale guard: stack already unwound, must not panic
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.spans.roots.len(), 1);
+        assert_eq!(snap.spans.roots[0].children[0].name, "inner");
+        assert_eq!(snap.spans.open_spans, 0);
+    }
+}

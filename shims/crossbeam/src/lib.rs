@@ -1,0 +1,87 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` / `Scope::spawn` / `ScopedJoinHandle::join`,
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantic notes relative to real crossbeam:
+//! - `scope` returns `Ok(..)` unless the closure itself panics; panics in
+//!   spawned threads surface through `join()` exactly as in crossbeam.
+//! - Spawn closures receive a placeholder `&()` argument instead of a
+//!   nested `&Scope`; every call site in this workspace ignores the
+//!   argument (`|_|`), so nested spawning is intentionally unsupported.
+
+pub mod thread {
+    use std::any::Any;
+
+    type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Scope handle passed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped worker thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure argument is a
+        /// placeholder for crossbeam's nested-scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&())),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the worker and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all workers are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_workers() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_in_join() {
+        let caught = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join().is_err()
+        });
+        assert!(caught.unwrap_or(false));
+    }
+}

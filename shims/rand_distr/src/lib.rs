@@ -1,0 +1,216 @@
+//! Offline stand-in for the subset of `rand_distr` this workspace uses:
+//! `Normal` (Box–Muller) and `Zipf` (rejection-inversion sampling), both
+//! implementing `rand::Distribution<f64>`.
+
+pub use rand::Distribution;
+use rand::{Rng, SampleRange};
+
+/// Error from invalid `Normal` parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Standard deviation was negative or non-finite.
+    BadVariance,
+    /// Mean was non-finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadVariance => write!(f, "standard deviation must be finite and non-negative"),
+            Self::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution, sampled with the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// # Errors
+    ///
+    /// Non-finite mean, or negative/non-finite standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the second variate is discarded to keep the
+        // distribution stateless (sampling stays deterministic per draw).
+        let u1: f64 = (f64::EPSILON..1.0).sample_single(rng);
+        let u2: f64 = (0.0..1.0).sample_single(rng);
+        let radius = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.std_dev * radius * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Error from invalid `Zipf` parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// Number of elements was zero.
+    NumElements,
+    /// Exponent was negative or non-finite.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NumElements => write!(f, "number of elements must be positive"),
+            Self::STooSmall => write!(f, "exponent must be finite and non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`, sampled by
+/// rejection from the continuous envelope `x^{-s}` on `[0.5, n + 0.5]`
+/// (inversion of the envelope CDF, then a midpoint-rule acceptance test;
+/// by Hermite–Hadamard the acceptance probability is always ≤ 1, so the
+/// resulting rank distribution is exactly Zipf). Samples are `f64` ranks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    /// `H(0.5)` — envelope CDF lower bound.
+    h_lo: f64,
+    /// `H(n + 0.5)` — envelope CDF upper bound.
+    h_hi: f64,
+}
+
+impl Zipf {
+    /// # Errors
+    ///
+    /// Zero `n`, or negative/non-finite `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NumElements);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::STooSmall);
+        }
+        let nf = n as f64;
+        let mut z = Self {
+            n: nf,
+            s,
+            h_lo: 0.0,
+            h_hi: 0.0,
+        };
+        z.h_lo = z.h(0.5);
+        z.h_hi = z.h(nf + 0.5);
+        Ok(z)
+    }
+
+    /// Antiderivative of `x^{-s}`; strictly increasing for any `s ≥ 0`.
+    fn h(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            x.powf(1.0 - self.s) / (1.0 - self.s)
+        }
+    }
+
+    fn h_inv(&self, u: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-12 {
+            u.exp()
+        } else {
+            ((1.0 - self.s) * u).powf(1.0 / (1.0 - self.s))
+        }
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.n <= 1.0 {
+            return 1.0;
+        }
+        loop {
+            let u: f64 = (self.h_lo..self.h_hi).sample_single(rng);
+            let x = self.h_inv(u).clamp(0.5, self.n + 0.5);
+            let k = x.round().clamp(1.0, self.n);
+            // True mass at k over envelope mass on [k − 0.5, k + 0.5].
+            let accept = k.powf(-self.s) / (self.h(k + 0.5) - self.h(k - 0.5));
+            let v: f64 = (0.0..1.0).sample_single(rng);
+            if v <= accept {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn zipf_ranks_in_domain_and_skewed() {
+        let d = Zipf::new(1000, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 30_000;
+        let mut ones = 0u32;
+        for _ in 0..n {
+            let r = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&r), "rank {r}");
+            assert_eq!(r, r.round());
+            if r == 1.0 {
+                ones += 1;
+            }
+        }
+        // Rank 1 should dominate: mass ≈ 1/H ≫ uniform 1/1000.
+        assert!(
+            ones as f64 / n as f64 > 0.1,
+            "rank-1 share {}",
+            ones as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, 0.0).is_ok());
+    }
+}

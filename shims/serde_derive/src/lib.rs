@@ -1,0 +1,514 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the serde
+//! shim (see `shims/serde`). Implemented directly on `proc_macro`
+//! token trees — no `syn`/`quote` — because the build environment
+//! cannot fetch crates.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! named structs, tuple structs (newtype and wider), unit structs, and
+//! enums with unit / tuple / struct variants, all optionally generic.
+//! Enums use serde's externally-tagged encoding. The only recognized
+//! field attribute is `#[serde(skip)]` (skipped on serialize,
+//! `Default::default()` on deserialize).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+struct Item {
+    name: String,
+    /// `(param name, original inline bounds)` pairs, e.g. `("P", "Clone")`.
+    generics: Vec<(String, String)>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+fn is_ident(t: &TokenTree, word: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == word)
+}
+
+fn punct_char(t: &TokenTree) -> Option<char> {
+    match t {
+        TokenTree::Punct(p) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility to the `struct`/`enum` keyword.
+    while i < tokens.len() && !is_ident(&tokens[i], "struct") && !is_ident(&tokens[i], "enum") {
+        if punct_char(&tokens[i]) == Some('#') {
+            i += 2; // `#` + bracketed attribute group
+        } else {
+            i += 1;
+        }
+    }
+    let is_enum = is_ident(&tokens[i], "enum");
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+
+    let mut generics: Vec<(String, String)> = Vec::new();
+    if i < tokens.len() && punct_char(&tokens[i]) == Some('<') {
+        i += 1;
+        let mut depth = 1u32;
+        let mut at_param_start = true;
+        let mut after_lifetime_quote = false;
+        let mut bounds_of: Option<String> = None; // Some(..) while inside `:` bounds
+        while i < tokens.len() && depth > 0 {
+            let tok = &tokens[i];
+            match punct_char(tok) {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if let Some(b) = bounds_of.take() {
+                            if let Some(last) = generics.last_mut() {
+                                last.1 = b;
+                            }
+                        }
+                        i += 1;
+                        break;
+                    }
+                }
+                Some(',') if depth == 1 => {
+                    if let Some(b) = bounds_of.take() {
+                        if let Some(last) = generics.last_mut() {
+                            last.1 = b;
+                        }
+                    }
+                    at_param_start = true;
+                    i += 1;
+                    continue;
+                }
+                Some(':') if depth == 1 && bounds_of.is_none() => {
+                    bounds_of = Some(String::new());
+                    i += 1;
+                    continue;
+                }
+                Some('\'') => after_lifetime_quote = true,
+                _ => {}
+            }
+            if let Some(b) = bounds_of.as_mut() {
+                b.push_str(&tok.to_string());
+                b.push(' ');
+            } else if let TokenTree::Ident(id) = tok {
+                if after_lifetime_quote {
+                    after_lifetime_quote = false;
+                } else if at_param_start {
+                    generics.push((id.to_string(), String::new()));
+                    at_param_start = false;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // Skip a possible `where` clause; the defining body is the next
+    // brace/paren group or a bare `;` (unit struct).
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if is_enum {
+                    Kind::Enum(parse_variants(g))
+                } else {
+                    Kind::Struct(Fields::Named(parse_named_fields(g)))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                break Kind::Struct(Fields::Tuple(tuple_arity(g)));
+            }
+            Some(t) if punct_char(t) == Some(';') => break Kind::Struct(Fields::Unit),
+            Some(_) => i += 1,
+            None => break Kind::Struct(Fields::Unit),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; returns whether any was
+/// `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i < tokens.len() && punct_char(&tokens[*i]) == Some('#') {
+        if let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) {
+            let text = attr.stream().to_string();
+            if text.starts_with("serde") && text.contains("skip") {
+                skip = true;
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1; // pub(crate) / pub(super)
+            }
+        }
+    }
+}
+
+/// Advances past the current element's type (or discriminant) up to and
+/// including the next comma at angle-bracket depth zero.
+fn skip_to_next_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i64;
+    while *i < tokens.len() {
+        match punct_char(&tokens[*i]) {
+            Some('<') => depth += 1,
+            Some('>') => depth -= 1,
+            Some(',') if depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(Field {
+            name: id.to_string(),
+            skip,
+        });
+        i += 1; // name
+        i += 1; // `:`
+        skip_to_next_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn tuple_arity(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut depth = 0i64;
+    let mut arity = 0usize;
+    let mut element_open = false;
+    for tok in &tokens {
+        match punct_char(tok) {
+            Some('<') => depth += 1,
+            Some('>') => depth -= 1,
+            Some(',') if depth == 0 => element_open = false,
+            _ => {
+                if !element_open {
+                    arity += 1;
+                    element_open = true;
+                }
+            }
+        }
+    }
+    arity
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        skip_to_next_comma(&tokens, &mut i); // discriminant (if any) + `,`
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// `impl<P: Clone + ::serde::Serialize> ::serde::Serialize for Foo<P>`
+/// header pieces: `(impl_params, type_args)`.
+fn generics_pieces(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let params: Vec<String> = item
+        .generics
+        .iter()
+        .map(|(name, bounds)| {
+            if bounds.is_empty() {
+                format!("{name}: {bound}")
+            } else {
+                format!("{name}: {bounds} + {bound}")
+            }
+        })
+        .collect();
+    let args: Vec<String> = item.generics.iter().map(|(n, _)| n.clone()).collect();
+    (
+        format!("<{}>", params.join(", ")),
+        format!("<{}>", args.join(", ")),
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_params, type_args) = generics_pieces(item, "::serde::Serialize");
+    let body = match &item.kind {
+        Kind::Struct(fields) => ser_struct_body(fields),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&ser_variant_arm(v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_params} ::serde::Serialize for {name}{type_args} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+}
+
+fn ser_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fs) => {
+            let mut pushes = String::new();
+            for f in fs.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "entries.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "{{ let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes} ::serde::Value::Map(entries) }}"
+            )
+        }
+    }
+}
+
+fn ser_variant_arm(v: &Variant) -> String {
+    let name = &v.name;
+    match &v.fields {
+        Fields::Unit => format!("Self::{name} => ::serde::Value::Str(\"{name}\".to_string()),\n"),
+        Fields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "Self::{name}({binds}) => ::serde::Value::Map(vec![(\"{name}\".to_string(), {inner})]),\n",
+                binds = binders.join(", ")
+            )
+        }
+        Fields::Named(fs) => {
+            let binders: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: _", f.name)
+                    } else {
+                        f.name.clone()
+                    }
+                })
+                .collect();
+            let items: Vec<String> = fs
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "Self::{name} {{ {binds} }} => ::serde::Value::Map(vec![(\"{name}\".to_string(), \
+                 ::serde::Value::Map(vec![{items}]))]),\n",
+                binds = binders.join(", "),
+                items = items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_params, type_args) = generics_pieces(item, "::serde::Deserialize");
+    let body = match &item.kind {
+        Kind::Struct(fields) => de_struct_body(&item.name, fields),
+        Kind::Enum(variants) => de_enum_body(&item.name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_params} ::serde::Deserialize for {name}{type_args} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+}
+
+fn de_named_fields_init(fs: &[Field]) -> String {
+    let inits: Vec<String> = fs
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default()", f.name)
+            } else {
+                format!("{n}: ::serde::field(entries, \"{n}\")?", n = f.name)
+            }
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "Ok(Self)".to_string(),
+        Fields::Tuple(1) => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Seq(items) if items.len() == {n} => \
+                 Ok(Self({items})), \
+                 other => Err(::serde::DeError::expected(\"{n}-tuple for {name}\", other)) }}",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(fs) => format!(
+            "match v {{ ::serde::Value::Map(m) => {{ let entries = m.as_slice(); Ok(Self {{ {inits} }}) }}, \
+             other => Err(::serde::DeError::expected(\"map for struct {name}\", other)) }}",
+            inits = de_named_fields_init(fs)
+        ),
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!("\"{vn}\" => Ok(Self::{vn}),\n"));
+            }
+            Fields::Tuple(1) => {
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => Ok(Self::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => match inner {{ ::serde::Value::Seq(items) if items.len() == {n} => \
+                     Ok(Self::{vn}({items})), \
+                     other => Err(::serde::DeError::expected(\"{n}-tuple for {name}::{vn}\", other)) }},\n",
+                    items = items.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => match inner {{ ::serde::Value::Map(m) => {{ let entries = m.as_slice(); \
+                     Ok(Self::{vn} {{ {inits} }}) }}, \
+                     other => Err(::serde::DeError::expected(\"map for {name}::{vn}\", other)) }},\n",
+                    inits = de_named_fields_init(fs)
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => Err(::serde::DeError::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+         let (tag, inner) = (&entries[0].0, &entries[0].1);\n\
+         match tag.as_str() {{\n\
+         {data_arms}\
+         other => Err(::serde::DeError::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+         }}\n\
+         }},\n\
+         other => Err(::serde::DeError::expected(\"enum {name}\", other)),\n\
+         }}"
+    )
+}

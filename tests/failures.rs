@@ -38,7 +38,10 @@ fn exact_queries_survive_node_failure_with_replication() {
             let bdas = exec.execute_bdas("t", &q).unwrap().answer;
             let direct = exec.execute_direct("t", &q).unwrap().answer;
             assert_eq!(bdas, before, "BDAS answer intact with node {victim} down");
-            assert_eq!(direct, before, "direct answer intact with node {victim} down");
+            assert_eq!(
+                direct, before,
+                "direct answer intact with node {victim} down"
+            );
         }
         cluster.restore_node(victim).unwrap();
     }
