@@ -1,0 +1,313 @@
+//! The continuous bench-regression harness behind the `perfbaseline`
+//! binary.
+//!
+//! A fixed subset of experiments runs under a recording
+//! [`TelemetrySink`]; headline metrics (simulated I/O ops, bytes moved,
+//! nodes touched, mean simulated per-query latency, predicted-vs-exact
+//! hit rate) are extracted from the telemetry snapshot into a
+//! schema-versioned [`BenchBaseline`]. Comparing a fresh collection
+//! against the committed `BENCH_baseline.json` with a relative tolerance
+//! turns silent performance regressions into loud exit codes.
+//!
+//! Simulated metrics are deterministic — same code, same numbers — so
+//! the committed baseline only changes when behaviour changes. Host
+//! wall-clock is recorded per experiment too, but is informational only
+//! and never gated: it varies with the machine running the suite.
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::run_by_id_with;
+use sea_telemetry::TelemetrySink;
+
+/// Version of the on-disk baseline layout. Bump on any change to the
+/// JSON shape or to the metric definitions; files with a different
+/// version are never compared against, only replaced.
+pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+
+/// The fixed experiment subset the harness runs: E1 (data-less vs
+/// BDAS), E4 (rank join), E7 (throughput), E8 (storage footprint) —
+/// together they exercise the executor, storage, pipeline, and agent
+/// layers.
+pub const BASELINE_EXPERIMENTS: [&str; 4] = ["e1", "e4", "e7", "e8"];
+
+/// Default relative tolerance for [`compare`]: a gated metric may move
+/// up to this fraction in its bad direction before it counts as a
+/// regression.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One headline metric of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineMetric {
+    /// Metric name, e.g. `sim_io_ops`.
+    pub name: String,
+    /// Observed value.
+    pub value: f64,
+    /// Direction: `true` if larger values are better (hit rates),
+    /// `false` if smaller values are better (I/O, bytes, latency).
+    pub higher_is_better: bool,
+    /// Whether [`compare`] gates on this metric. Non-gated metrics are
+    /// recorded for trend-watching only.
+    pub gate: bool,
+}
+
+/// One experiment's headline metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentBaseline {
+    /// Experiment id (`e1`, `e4`, …).
+    pub id: String,
+    /// Host wall-clock for the whole experiment, milliseconds.
+    /// Machine-dependent; informational only, never gated.
+    pub wall_clock_ms: f64,
+    /// The extracted metrics.
+    pub metrics: Vec<HeadlineMetric>,
+}
+
+/// The whole baseline file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// See [`BASELINE_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// One entry per [`BASELINE_EXPERIMENTS`] id, in order.
+    pub experiments: Vec<ExperimentBaseline>,
+}
+
+/// One gated metric that moved past tolerance in its bad direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Experiment id.
+    pub experiment: String,
+    /// Metric name.
+    pub metric: String,
+    /// Committed (old) value.
+    pub baseline: f64,
+    /// Freshly collected value.
+    pub current: f64,
+    /// Signed relative change, positive = metric grew.
+    pub change: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} -> {} ({:+.1}%)",
+            self.experiment,
+            self.metric,
+            self.baseline,
+            self.current,
+            self.change * 100.0
+        )
+    }
+}
+
+/// Runs [`BASELINE_EXPERIMENTS`] under recording sinks and extracts
+/// headline metrics from each telemetry snapshot.
+///
+/// # Errors
+///
+/// Experiment-internal errors.
+pub fn collect() -> sea_common::Result<BenchBaseline> {
+    let mut experiments = Vec::new();
+    for id in BASELINE_EXPERIMENTS {
+        let sink = TelemetrySink::recording();
+        let started = std::time::Instant::now();
+        run_by_id_with(id, &sink)?;
+        let wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        let snap = sink.snapshot().expect("recording sink has a snapshot");
+
+        let mut metrics = vec![
+            HeadlineMetric {
+                name: "sim_io_ops".to_string(),
+                value: snap.counter("storage.node.blocks_read") as f64,
+                higher_is_better: false,
+                gate: true,
+            },
+            HeadlineMetric {
+                name: "sim_bytes_moved".to_string(),
+                value: snap.counter("storage.node.bytes_read") as f64,
+                higher_is_better: false,
+                gate: true,
+            },
+            HeadlineMetric {
+                name: "nodes_touched".to_string(),
+                value: snap.counter("storage.node.scans") as f64,
+                higher_is_better: false,
+                gate: true,
+            },
+        ];
+        if let Some(h) = snap.histogram(crate::experiments::common::QUERY_LATENCY_HISTOGRAM) {
+            metrics.push(HeadlineMetric {
+                name: "query_sim_us_mean".to_string(),
+                value: h.mean,
+                higher_is_better: false,
+                gate: true,
+            });
+        }
+        let predicted = snap.event_count("agent.predicted") as f64;
+        let fallback = snap.event_count("agent.fallback") as f64;
+        if predicted + fallback > 0.0 {
+            metrics.push(HeadlineMetric {
+                name: "predict_hit_rate".to_string(),
+                value: predicted / (predicted + fallback),
+                higher_is_better: true,
+                gate: true,
+            });
+        }
+        experiments.push(ExperimentBaseline {
+            id: id.to_string(),
+            wall_clock_ms,
+            metrics,
+        });
+    }
+    Ok(BenchBaseline {
+        schema_version: BASELINE_SCHEMA_VERSION,
+        experiments,
+    })
+}
+
+/// Compares `current` against `baseline`, returning every gated metric
+/// that moved more than `tolerance` (relative) in its bad direction.
+/// Metrics present on only one side are skipped (they are new or
+/// retired, not regressed); experiments are matched by id.
+pub fn compare(
+    baseline: &BenchBaseline,
+    current: &BenchBaseline,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for cur_exp in &current.experiments {
+        let Some(base_exp) = baseline.experiments.iter().find(|e| e.id == cur_exp.id) else {
+            continue;
+        };
+        for cur in &cur_exp.metrics {
+            if !cur.gate {
+                continue;
+            }
+            let Some(base) = base_exp.metrics.iter().find(|m| m.name == cur.name) else {
+                continue;
+            };
+            // A zero baseline can't anchor a relative comparison; treat
+            // any growth from zero on a lower-is-better metric as
+            // regressed only if it exceeds tolerance in absolute terms.
+            let denom = base.value.abs().max(1e-12);
+            let change = (cur.value - base.value) / denom;
+            let regressed = if cur.higher_is_better {
+                change < -tolerance
+            } else {
+                change > tolerance
+            };
+            if regressed {
+                regressions.push(Regression {
+                    experiment: cur_exp.id.clone(),
+                    metric: cur.name.clone(),
+                    baseline: base.value,
+                    current: cur.value,
+                    change,
+                });
+            }
+        }
+    }
+    regressions
+}
+
+/// Serializes a baseline to pretty JSON (trailing newline included, so
+/// the committed file is POSIX-friendly).
+///
+/// # Errors
+///
+/// Serialization errors from the JSON layer.
+pub fn to_json(baseline: &BenchBaseline) -> sea_common::Result<String> {
+    let mut s = serde_json::to_string_pretty(baseline)
+        .map_err(|e| sea_common::SeaError::invalid(e.to_string()))?;
+    s.push('\n');
+    Ok(s)
+}
+
+/// Parses a baseline from JSON.
+///
+/// # Errors
+///
+/// Malformed JSON or missing fields.
+pub fn from_json(text: &str) -> sea_common::Result<BenchBaseline> {
+    serde_json::from_str(text).map_err(|e| sea_common::SeaError::invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &str, value: f64, higher_is_better: bool) -> HeadlineMetric {
+        HeadlineMetric {
+            name: name.to_string(),
+            value,
+            higher_is_better,
+            gate: true,
+        }
+    }
+
+    fn baseline_with(metrics: Vec<HeadlineMetric>) -> BenchBaseline {
+        BenchBaseline {
+            schema_version: BASELINE_SCHEMA_VERSION,
+            experiments: vec![ExperimentBaseline {
+                id: "e1".to_string(),
+                wall_clock_ms: 10.0,
+                metrics,
+            }],
+        }
+    }
+
+    #[test]
+    fn comparison_is_direction_aware() {
+        let base = baseline_with(vec![
+            metric("sim_io_ops", 1000.0, false),
+            metric("predict_hit_rate", 0.8, true),
+        ]);
+        // I/O grew 30%, hit rate fell 30%: both regressions at 15%.
+        let bad = baseline_with(vec![
+            metric("sim_io_ops", 1300.0, false),
+            metric("predict_hit_rate", 0.56, true),
+        ]);
+        let regs = compare(&base, &bad, DEFAULT_TOLERANCE);
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        // I/O *fell* 30%, hit rate *rose*: improvements, not regressions.
+        let good = baseline_with(vec![
+            metric("sim_io_ops", 700.0, false),
+            metric("predict_hit_rate", 0.95, true),
+        ]);
+        assert!(compare(&base, &good, DEFAULT_TOLERANCE).is_empty());
+        // Within tolerance: quiet.
+        let near = baseline_with(vec![
+            metric("sim_io_ops", 1100.0, false),
+            metric("predict_hit_rate", 0.75, true),
+        ]);
+        assert!(compare(&base, &near, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn ungated_and_unmatched_metrics_never_fire() {
+        let base = baseline_with(vec![metric("sim_io_ops", 1000.0, false)]);
+        let mut cur = baseline_with(vec![
+            metric("sim_io_ops", 1001.0, false),
+            metric("brand_new_metric", 1e9, false),
+        ]);
+        cur.experiments[0].metrics.push(HeadlineMetric {
+            name: "wall_informational".to_string(),
+            value: 1e12,
+            higher_is_better: false,
+            gate: false,
+        });
+        assert!(compare(&base, &cur, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_baseline() {
+        let base = baseline_with(vec![
+            metric("sim_io_ops", 1234.0, false),
+            metric("predict_hit_rate", 0.875, true),
+        ]);
+        let text = to_json(&base).unwrap();
+        assert!(text.ends_with('\n'));
+        let back = from_json(&text).unwrap();
+        assert_eq!(back, base);
+    }
+}

@@ -4,14 +4,19 @@
 //! cargo run -p sea-bench --release --bin experiments           # all
 //! cargo run -p sea-bench --release --bin experiments -- e4 e5  # subset
 //! cargo run -p sea-bench --release --bin experiments -- --json-out out e1
+//! cargo run -p sea-bench --release --bin experiments -- --trace-out traces e1
 //! ```
 //!
 //! With `--json-out <dir>`, each experiment runs against a recording
 //! [`TelemetrySink`] and writes `<dir>/<id>/report.json` (the result
 //! table) plus `<dir>/<id>/metrics.json` (the telemetry snapshot:
 //! counters, gauges, latency histograms, span trees, per-query events).
-//! Without it, experiments run against the no-op sink and print the same
-//! tables they always have.
+//! With `--trace-out <dir>`, each experiment additionally writes
+//! `<dir>/<id>/trace.json` (Chrome `trace_event` JSON — load it in
+//! `about:tracing` or <https://ui.perfetto.dev>) and
+//! `<dir>/<id>/metrics.prom` (Prometheus text exposition). Without
+//! either flag, experiments run against the no-op sink and print the
+//! same tables they always have.
 
 use std::path::PathBuf;
 
@@ -20,14 +25,16 @@ use sea_telemetry::TelemetrySink;
 
 fn main() {
     let mut json_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--json-out" {
+        if arg == "--json-out" || arg == "--trace-out" {
             match args.next() {
-                Some(dir) => json_out = Some(PathBuf::from(dir)),
+                Some(dir) if arg == "--json-out" => json_out = Some(PathBuf::from(dir)),
+                Some(dir) => trace_out = Some(PathBuf::from(dir)),
                 None => {
-                    eprintln!("--json-out requires a directory argument");
+                    eprintln!("{arg} requires a directory argument");
                     std::process::exit(2);
                 }
             }
@@ -40,9 +47,10 @@ fn main() {
     } else {
         ids.iter().map(String::as_str).collect()
     };
+    let recording = json_out.is_some() || trace_out.is_some();
     let mut failures = 0;
     for id in ids {
-        let sink = if json_out.is_some() {
+        let sink = if recording {
             TelemetrySink::recording()
         } else {
             TelemetrySink::noop()
@@ -56,6 +64,12 @@ fn main() {
                         failures += 1;
                     }
                 }
+                if let Some(dir) = &trace_out {
+                    if let Err(e) = write_traces(dir, id, &sink) {
+                        eprintln!("experiment {id}: writing trace sidecars failed: {e}");
+                        failures += 1;
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
@@ -66,6 +80,25 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Writes `<dir>/<id>/trace.json` (Chrome `trace_event` JSON) and
+/// `<dir>/<id>/metrics.prom` (Prometheus text exposition).
+fn write_traces(dir: &std::path::Path, id: &str, sink: &TelemetrySink) -> std::io::Result<()> {
+    let Some(snapshot) = sink.snapshot() else {
+        return Ok(());
+    };
+    let exp_dir = dir.join(id);
+    std::fs::create_dir_all(&exp_dir)?;
+    std::fs::write(
+        exp_dir.join("trace.json"),
+        sea_telemetry::export::chrome_trace_json(&snapshot),
+    )?;
+    std::fs::write(
+        exp_dir.join("metrics.prom"),
+        sea_telemetry::export::prometheus_text(&snapshot),
+    )?;
+    Ok(())
 }
 
 /// Writes `<dir>/<id>/report.json` and, if the sink recorded anything,

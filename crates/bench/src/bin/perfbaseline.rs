@@ -1,0 +1,148 @@
+//! Continuous bench-regression harness.
+//!
+//! ```text
+//! cargo run -p sea-bench --release --bin perfbaseline              # refresh
+//! cargo run -p sea-bench --release --bin perfbaseline -- --check  # CI gate
+//! ```
+//!
+//! Runs the fixed experiment subset (see
+//! [`sea_bench::baseline::BASELINE_EXPERIMENTS`]), extracts headline
+//! metrics, and compares them against the committed baseline file:
+//!
+//! * default mode — compare (if a baseline exists), then rewrite the
+//!   baseline with the fresh numbers so an intentional change can be
+//!   reviewed and committed; exits 1 if any gated metric regressed.
+//! * `--check` — compare only, never overwrite an existing baseline;
+//!   exits 1 on regression. If no baseline exists yet (or its schema
+//!   version differs), writes one and succeeds, so the gate
+//!   bootstraps itself.
+//!
+//! `--tolerance <frac>` (default 0.15) sets the allowed relative drift;
+//! `--out <path>` (default `BENCH_baseline.json`) sets the file.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sea_bench::baseline::{
+    collect, compare, from_json, to_json, BenchBaseline, BASELINE_SCHEMA_VERSION, DEFAULT_TOLERANCE,
+};
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut out = PathBuf::from("BENCH_baseline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance requires a non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perfbaseline [--check] [--tolerance <frac>] [--out <path>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!("collecting baseline metrics (this runs the benchmark subset)...");
+    let current = match collect() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("collection failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for exp in &current.experiments {
+        println!("  {} ({:.0} ms wall):", exp.id, exp.wall_clock_ms);
+        for m in &exp.metrics {
+            println!("    {:<20} {}", m.name, m.value);
+        }
+    }
+
+    let previous: Option<BenchBaseline> = match std::fs::read_to_string(&out) {
+        Ok(text) => match from_json(&text) {
+            Ok(b) if b.schema_version == BASELINE_SCHEMA_VERSION => Some(b),
+            Ok(b) => {
+                eprintln!(
+                    "baseline {} has schema v{} (current v{}); skipping comparison",
+                    out.display(),
+                    b.schema_version,
+                    BASELINE_SCHEMA_VERSION
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!(
+                    "baseline {} is unreadable ({e}); skipping comparison",
+                    out.display()
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    };
+
+    let mut regressed = false;
+    match &previous {
+        Some(prev) => {
+            let regressions = compare(prev, &current, tolerance);
+            if regressions.is_empty() {
+                println!(
+                    "no regressions against {} (tolerance {:.0}%)",
+                    out.display(),
+                    tolerance * 100.0
+                );
+            } else {
+                regressed = true;
+                eprintln!(
+                    "{} regression(s) against {} (tolerance {:.0}%):",
+                    regressions.len(),
+                    out.display(),
+                    tolerance * 100.0
+                );
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+            }
+        }
+        None => println!("no comparable baseline at {}", out.display()),
+    }
+
+    // --check never overwrites a comparable committed baseline; every
+    // other path rewrites it so intentional shifts show up as a diff.
+    let write = !check || previous.is_none();
+    if write {
+        match to_json(&current) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&out, text) {
+                    eprintln!("writing {} failed: {e}", out.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", out.display());
+            }
+            Err(e) => {
+                eprintln!("serializing baseline failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -8,6 +8,7 @@ use sea_common::{AggregateKind, AnalyticalQuery, Point, Rect, Region, Result};
 use sea_core::{AgentConfig, AgentPipeline, ExecMode};
 use sea_ml::quantize::QuantizerParams;
 use sea_query::Executor;
+use sea_telemetry::TelemetrySink;
 use sea_workload::{DriftKind, DriftingWorkload, QueryGenerator, QuerySpec};
 
 use crate::Report;
@@ -29,6 +30,11 @@ fn query(cx: f64, e: f64) -> AnalyticalQuery {
 /// * 3 — no forgetting (`forget = 1.0`) under a drifting answer function
 /// * 4 — coarse quantizer (one giant quantum)
 pub fn run_a1() -> Result<Report> {
+    run_a1_with(&TelemetrySink::noop())
+}
+
+/// Runs A1, feeding spans and per-variant counters into `sink`.
+pub fn run_a1_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "A1",
         "agent ablations under a drifting workload",
@@ -44,6 +50,7 @@ pub fn run_a1() -> Result<Report> {
         .generate(100_000)?;
     let mut cluster = StorageCluster::new(8, 512);
     cluster.load_table("t", data, Partitioning::Hash)?;
+    cluster.set_telemetry(sink.clone());
     let exec = Executor::new(&cluster);
 
     let variants: Vec<(u64, AgentConfig)> = vec![
@@ -90,8 +97,11 @@ pub fn run_a1() -> Result<Report> {
     ];
 
     for (variant, (refresh, config)) in variants.into_iter().enumerate() {
-        let mut pipe =
-            AgentPipeline::new(2, config, "t", 0.15, ExecMode::Direct)?.with_refresh_every(refresh);
+        let variant_span = sink.span("bench.a1.variant");
+        variant_span.tag("variant", variant);
+        let mut pipe = AgentPipeline::new(2, config, "t", 0.15, ExecMode::Direct)?
+            .with_refresh_every(refresh)
+            .with_telemetry(sink.clone());
         // A drifting hotspot: centre jumps from (30, 50) to (70, 50) at
         // query 200 (drift via the workload, not via data).
         let spec = QuerySpec::simple_count(vec![30.0, 50.0], 2.0, (4.0, 12.0))?;

@@ -6,22 +6,32 @@
 use sea_common::{AggregateKind, Result};
 use sea_core::{AgentConfig, SeaAgent};
 use sea_query::Executor;
+use sea_telemetry::TelemetrySink;
 
-use crate::experiments::common::{aggregate_workload, correlated_cluster, mean_relative_error};
+use crate::experiments::common::{
+    aggregate_workload, correlated_cluster, mean_relative_error, observe_query_us, query_span,
+};
 use crate::Report;
+
+/// Runs E3 without telemetry.
+pub fn run_e3() -> Result<Report> {
+    run_e3_with(&TelemetrySink::noop())
+}
 
 /// Runs E3. Columns: training size, AVG relative error, regression
 /// relative error (max of slope/intercept component errors).
-pub fn run_e3() -> Result<Report> {
+pub fn run_e3_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E3",
         "AVG and regression-query accuracy vs training size",
         &["training", "avg_rel_err", "reg_rel_err"],
     );
     // attr1 = 2·attr0 + 5 + N(0, 3); hotspot centred where the data lives.
-    let cluster = correlated_cluster(80_000, 8, 3.0, 5)?;
+    let mut cluster = correlated_cluster(80_000, 8, 3.0, 5)?;
+    cluster.set_telemetry(sink.clone());
     let exec = Executor::new(&cluster);
     let center = vec![50.0, 105.0, 50.0];
+    let mut qid = 0u64;
     for &t in &[50usize, 150, 400] {
         // AVG pool.
         let mut avg_agent = SeaAgent::new(3, AgentConfig::default())?;
@@ -34,7 +44,11 @@ pub fn run_e3() -> Result<Report> {
         )?;
         for _ in 0..t {
             let q = avg_train.next_query();
+            let span = query_span(sink, qid);
+            qid += 1;
             if let Ok(exact) = exec.execute_direct("t", &q) {
+                span.record_sim_us(exact.cost.wall_us);
+                observe_query_us(sink, exact.cost.wall_us);
                 avg_agent.train(&q, &exact.answer)?;
             }
         }
@@ -60,7 +74,11 @@ pub fn run_e3() -> Result<Report> {
         )?;
         for _ in 0..t {
             let q = reg_train.next_query();
+            let span = query_span(sink, qid);
+            qid += 1;
             if let Ok(exact) = exec.execute_direct("t", &q) {
+                span.record_sim_us(exact.cost.wall_us);
+                observe_query_us(sink, exact.cost.wall_us);
                 reg_agent.train(&q, &exact.answer)?;
             }
         }

@@ -6,25 +6,40 @@
 
 use sea_common::{CostModel, Point, Result};
 use sea_knn::{mapreduce_knn, DistributedKnnIndex};
+use sea_telemetry::TelemetrySink;
 
-use crate::experiments::common::uniform_cluster;
+use crate::experiments::common::{observe_query_us, query_span, uniform_cluster};
 use crate::Report;
 
-/// Runs E5. Columns: records, k, time factor, disk-bytes factor.
+/// Runs E5 without telemetry.
 pub fn run_e5() -> Result<Report> {
+    run_e5_with(&TelemetrySink::noop())
+}
+
+/// Runs E5. Columns: records, k, time factor, disk-bytes factor.
+pub fn run_e5_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E5",
         "kNN: coordinator-cohort vs MapReduce",
         &["records", "k", "time_factor", "bytes_factor"],
     );
     let model = CostModel::default();
+    let mut qid = 0u64;
     for &n in &[50_000usize, 200_000, 500_000] {
-        let cluster = uniform_cluster(n, 8, 2)?;
+        let mut cluster = uniform_cluster(n, 8, 2)?;
+        cluster.set_telemetry(sink.clone());
+        let build_span = sink.span("bench.e5.index_build");
         let index = DistributedKnnIndex::build(&cluster, "t", &model)?;
+        drop(build_span);
         for &k in &[1usize, 10, 50] {
             let q = Point::new(vec![42.0, 37.0]);
+            let span = query_span(sink, qid);
+            qid += 1;
             let mr = mapreduce_knn(&cluster, "t", &q, k, &model)?;
             let cc = index.query(&q, k, &model)?;
+            span.record_sim_us(mr.cost.wall_us + cc.cost.wall_us);
+            drop(span);
+            observe_query_us(sink, cc.cost.wall_us);
             report.push_row(vec![
                 n as f64,
                 k as f64,

@@ -6,12 +6,20 @@
 
 use sea_common::Result;
 use sea_graph::{GraphCache, GraphDb, GraphGenerator};
+use sea_telemetry::TelemetrySink;
 
 use crate::Report;
 
+/// Runs E6 without telemetry.
+pub fn run_e6() -> Result<Report> {
+    run_e6_with(&TelemetrySink::noop())
+}
+
 /// Runs E6. Columns: distinct patterns in a 200-query workload,
 /// verifications without cache, with cache, and the speedup factor.
-pub fn run_e6() -> Result<Report> {
+/// `GraphDb` has no simulated cluster underneath, so telemetry here is
+/// bench-level: one span per workload sweep plus verification counters.
+pub fn run_e6_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E6",
         "subgraph queries: semantic cache vs no cache",
@@ -31,6 +39,8 @@ pub fn run_e6() -> Result<Report> {
     let query_gen = GraphGenerator::new(4, 0.5, 9);
 
     for &distinct in &[2usize, 5, 20, 100] {
+        let sweep = sink.span("bench.e6.sweep");
+        sweep.tag("distinct_patterns", distinct);
         let patterns: Vec<_> = (0..distinct)
             .map(|i| query_gen.generate(3 + (i % 3), 500 + i as u64))
             .collect();
@@ -44,6 +54,9 @@ pub fn run_e6() -> Result<Report> {
             let (_, warm) = cache.query(&db, q);
             cached += warm.verifications;
         }
+        sink.incr("bench.e6.uncached_verifications", uncached as u64);
+        sink.incr("bench.e6.cached_verifications", cached as u64);
+        drop(sweep);
         report.push_row(vec![
             distinct as f64,
             uncached as f64,

@@ -9,19 +9,26 @@ use sea_baselines::{DataCanopy, LearnedAqp, SamplingAqp};
 use sea_common::{AggregateKind, AnalyticalQuery, Rect, Region, Result};
 use sea_core::{AgentConfig, SeaAgent};
 use sea_query::Executor;
+use sea_telemetry::TelemetrySink;
 
-use crate::experiments::common::{count_workload, uniform_cluster};
+use crate::experiments::common::{count_workload, observe_query_us, query_span, uniform_cluster};
 use crate::Report;
+
+/// Runs E8 without telemetry.
+pub fn run_e8() -> Result<Report> {
+    run_e8_with(&TelemetrySink::noop())
+}
 
 /// Runs E8. Columns: queries processed, then bytes held by the agent,
 /// the stratified sample, the canopy cache, and the DBL-style layer.
-pub fn run_e8() -> Result<Report> {
+pub fn run_e8_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E8",
         "storage footprint of each approach (bytes)",
         &["queries", "agent", "blinkdb_sample", "canopy", "dbl"],
     );
-    let cluster = uniform_cluster(100_000, 8, 23)?;
+    let mut cluster = uniform_cluster(100_000, 8, 23)?;
+    cluster.set_telemetry(sink.clone());
     let exec = Executor::new(&cluster);
     let domain = Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])?;
     // BlinkDB-style sample sized to reach roughly the agent's accuracy on
@@ -39,11 +46,15 @@ pub fn run_e8() -> Result<Report> {
     for checkpoint in [50usize, 200, 500] {
         while processed < checkpoint {
             let q = gen.next_query();
+            let span = query_span(sink, processed as u64);
             processed += 1;
             if let Ok(exact) = exec.execute_direct("t", &q) {
+                span.record_sim_us(exact.cost.wall_us);
+                observe_query_us(sink, exact.cost.wall_us);
                 agent.train(&q, &exact.answer)?;
                 let _ = dbl.observe(&q, &exact.answer);
             }
+            drop(span);
             // The canopy answers 1-D slab statistics; feed it the query's
             // dim-0 slab so its cache grows with the workload's footprint.
             let bbox = q.region.bounding_rect();

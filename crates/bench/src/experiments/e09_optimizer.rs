@@ -7,7 +7,9 @@
 use sea_common::{AggregateKind, AnalyticalQuery, CostModel, Point, Record, Rect, Region, Result};
 use sea_optimizer::{ExecutionEngines, LearnedOptimizer, QueryStrategy};
 use sea_storage::{Partitioning, StorageCluster};
+use sea_telemetry::TelemetrySink;
 
+use crate::experiments::common::{observe_query_us, query_span};
 use crate::Report;
 
 fn cluster() -> Result<StorageCluster> {
@@ -36,9 +38,14 @@ fn query(e: f64) -> Result<AnalyticalQuery> {
     ))
 }
 
+/// Runs E9 without telemetry.
+pub fn run_e9() -> Result<Report> {
+    run_e9_with(&TelemetrySink::noop())
+}
+
 /// Runs E9. Columns: query extent, estimated selectivity, scan µs,
 /// index-fetch µs, oracle choice (0 = scan, 1 = index), learned choice.
-pub fn run_e9() -> Result<Report> {
+pub fn run_e9_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E9",
         "strategy crossover and learned selection",
@@ -51,19 +58,23 @@ pub fn run_e9() -> Result<Report> {
             "learned",
         ],
     );
-    let c = cluster()?;
+    let mut c = cluster()?;
+    c.set_telemetry(sink.clone());
     let domain = Rect::new(vec![0.0, 0.0], vec![100.0, 400.0])?;
     let engines = ExecutionEngines::build(&c, "t", domain, 100)?;
     let model = CostModel::default();
 
+    let train_span = sink.span("bench.e9.optimizer_train");
     let mut opt = LearnedOptimizer::new(&c, "t", 32)?;
     for i in 0..30 {
         let e = 0.3 + i as f64 * 1.6;
         opt.train(&engines, &query(e)?, &model)?;
     }
+    drop(train_span);
 
-    for &e in &[0.3, 1.0, 3.0, 8.0, 20.0, 45.0] {
+    for (qid, &e) in [0.3, 1.0, 3.0, 8.0, 20.0, 45.0].iter().enumerate() {
         let q = query(e)?;
+        let span = query_span(sink, qid as u64);
         let scan = engines.execute(QueryStrategy::ScanAggregate, &q, &model)?;
         let index = engines.execute(QueryStrategy::IndexFetch, &q, &model)?;
         let oracle = if scan.cost.wall_us <= index.cost.wall_us {
@@ -75,6 +86,9 @@ pub fn run_e9() -> Result<Report> {
             QueryStrategy::ScanAggregate => 0.0,
             QueryStrategy::IndexFetch => 1.0,
         };
+        span.record_sim_us(scan.cost.wall_us + index.cost.wall_us);
+        drop(span);
+        observe_query_us(sink, scan.cost.wall_us.min(index.cost.wall_us));
         report.push_row(vec![
             e,
             opt.estimate_selectivity(&q),

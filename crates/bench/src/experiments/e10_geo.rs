@@ -6,25 +6,37 @@
 
 use sea_common::Result;
 use sea_geo::{GeoConfig, GeoSystem};
+use sea_telemetry::TelemetrySink;
 
 use crate::experiments::common::{count_workload, uniform_cluster};
 use crate::Report;
 
-/// Runs E10. Columns: error threshold (−1 marks the all-to-core
-/// baseline), fallback rate, WAN kilobytes, mean response ms.
+/// Runs E10 without telemetry.
 pub fn run_e10() -> Result<Report> {
+    run_e10_with(&TelemetrySink::noop())
+}
+
+/// Runs E10. Columns: error threshold (−1 marks the all-to-core
+/// baseline), fallback rate, WAN kilobytes, mean response ms. The geo
+/// system inherits `sink` through the cluster, so `geo.*` spans,
+/// counters, and events all land here.
+pub fn run_e10_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E10",
         "geo-distributed deployment: WAN traffic vs error threshold",
         &["threshold", "fallback_rate", "wan_kb", "mean_response_ms"],
     );
-    let cluster = uniform_cluster(100_000, 8, 31)?;
+    let mut cluster = uniform_cluster(100_000, 8, 31)?;
+    cluster.set_telemetry(sink.clone());
 
     // Baseline: everything to the core.
     let mut baseline = GeoSystem::new(&cluster, "t", GeoConfig::default())?;
     let mut gen = count_workload(4.0, 14.0, 61)?;
+    let mut qid = 0u64;
     for _ in 0..300 {
         let q = gen.next_query();
+        sink.begin_query(qid);
+        qid += 1;
         let _ = baseline.submit_all_to_core(&q);
     }
     report.push_row(vec![
@@ -46,6 +58,8 @@ pub fn run_e10() -> Result<Report> {
         let mut gen = count_workload(4.0, 14.0, 61)?;
         for _ in 0..300 {
             let q = gen.next_query();
+            sink.begin_query(qid);
+            qid += 1;
             let _ = geo.submit(0, &q);
         }
         report.push_row(vec![

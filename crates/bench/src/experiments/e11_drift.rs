@@ -9,21 +9,28 @@
 use sea_common::{AggregateKind, Record, Rect, Result};
 use sea_core::{AgentConfig, AgentPipeline, AnswerSource, ExecMode};
 use sea_query::Executor;
+use sea_telemetry::TelemetrySink;
 use sea_workload::{DriftKind, DriftingWorkload, QueryGenerator, QuerySpec};
 
-use crate::experiments::common::uniform_cluster;
+use crate::experiments::common::{observe_query_us, query_span, uniform_cluster};
 use crate::Report;
+
+/// Runs E11 without telemetry.
+pub fn run_e11() -> Result<Report> {
+    run_e11_with(&TelemetrySink::noop())
+}
 
 /// Runs E11. Columns: stream phase (0 = before jump, 1 = right after
 /// jump, 2 = recovered; 3 = after data update w/ invalidation, 4 = after
 /// data update w/o invalidation), mean relative error in that phase.
-pub fn run_e11() -> Result<Report> {
+pub fn run_e11_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E11",
         "maintenance under interest drift and data updates",
         &["phase", "rel_err", "exact_fraction"],
     );
     let mut cluster = uniform_cluster(100_000, 8, 43)?;
+    cluster.set_telemetry(sink.clone());
 
     // --- Interest drift: hotspot jumps from (30,30) to (70,70) at query 250.
     {
@@ -38,7 +45,8 @@ pub fn run_e11() -> Result<Report> {
             },
         );
         let mut pipe = AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct)?
-            .with_refresh_every(16);
+            .with_refresh_every(16)
+            .with_telemetry(sink.clone());
         let mut phase_err = [0.0f64; 3];
         let mut phase_exact = [0.0f64; 3];
         let mut phase_n = [0usize; 3];
@@ -47,7 +55,11 @@ pub fn run_e11() -> Result<Report> {
             let Ok(exact) = exec.execute_direct("t", &q) else {
                 continue;
             };
+            let span = query_span(sink, step);
             let out = pipe.process(&exec, &q)?;
+            span.record_sim_us(out.cost.wall_us);
+            drop(span);
+            observe_query_us(sink, out.cost.wall_us);
             let phase = if step < 250 {
                 0
             } else if step < 300 {

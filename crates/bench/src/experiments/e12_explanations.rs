@@ -8,20 +8,27 @@
 use sea_common::{AggregateKind, AnalyticalQuery, Point, Rect, Region, Result};
 use sea_core::{AgentConfig, Explanation, SeaAgent};
 use sea_query::Executor;
+use sea_telemetry::TelemetrySink;
 
-use crate::experiments::common::uniform_cluster;
+use crate::experiments::common::{observe_query_us, query_span, uniform_cluster};
 use crate::Report;
+
+/// Runs E12 without telemetry.
+pub fn run_e12() -> Result<Report> {
+    run_e12_with(&TelemetrySink::noop())
+}
 
 /// Runs E12. Columns: derived queries evaluated from the explanation,
 /// their mean relative error, and the simulated milliseconds saved by not
 /// issuing them.
-pub fn run_e12() -> Result<Report> {
+pub fn run_e12_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E12",
         "explanations answer related queries without issuing them",
         &["derived_queries", "explanation_rel_err", "saved_ms"],
     );
-    let cluster = uniform_cluster(100_000, 8, 53)?;
+    let mut cluster = uniform_cluster(100_000, 8, 53)?;
+    cluster.set_telemetry(sink.clone());
     let exec = Executor::new(&cluster);
 
     // Train the agent on the hotspot.
@@ -32,10 +39,13 @@ pub fn run_e12() -> Result<Report> {
             AggregateKind::Count,
         ))
     };
-    for i in 0..200 {
+    for i in 0..200u64 {
         let e = 4.0 + (i % 25) as f64 * 0.4;
         let q = query_at(e)?;
+        let span = query_span(sink, i);
         if let Ok(exact) = exec.execute_direct("t", &q) {
+            span.record_sim_us(exact.cost.wall_us);
+            observe_query_us(sink, exact.cost.wall_us);
             agent.train(&q, &exact.answer)?;
         }
     }

@@ -7,7 +7,9 @@
 use sea_common::{CostModel, Record, Rect, Result};
 use sea_imputation::{fullscan_impute, GridImputer};
 use sea_storage::{Partitioning, StorageCluster};
+use sea_telemetry::TelemetrySink;
 
+use crate::experiments::common::{observe_query_us, query_span};
 use crate::Report;
 
 fn cluster(n: u64) -> Result<StorageCluster> {
@@ -39,9 +41,14 @@ fn probes() -> Vec<Record> {
         .collect()
 }
 
+/// Runs E13 without telemetry.
+pub fn run_e13() -> Result<Report> {
+    run_e13_with(&TelemetrySink::noop())
+}
+
 /// Runs E13. Columns: table size, full-scan vs grid time factor,
 /// candidates factor, and each method's RMSE against ground truth.
-pub fn run_e13() -> Result<Report> {
+pub fn run_e13_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E13",
         "missing-value imputation: grid-partitioned vs full scan",
@@ -55,12 +62,17 @@ pub fn run_e13() -> Result<Report> {
     );
     let model = CostModel::default();
     let domain = Rect::new(vec![0.0, 0.0, 0.0], vec![100.0, 205.0, 100.0])?;
-    for &n in &[20_000u64, 100_000, 400_000] {
-        let c = cluster(n)?;
+    for (qid, &n) in [20_000u64, 100_000, 400_000].iter().enumerate() {
+        let mut c = cluster(n)?;
+        c.set_telemetry(sink.clone());
         let probes = probes();
+        let span = query_span(sink, qid as u64);
         let full = fullscan_impute(&c, "t", &probes, 5, &model)?;
         let imputer = GridImputer::new(domain.clone(), 50)?;
         let grid = imputer.impute(&c, "t", &probes, 5, &model)?;
+        span.record_sim_us(full.cost.wall_us + grid.cost.wall_us);
+        drop(span);
+        observe_query_us(sink, grid.cost.wall_us);
 
         let rmse = |imputed: &[Record]| -> f64 {
             let mut sum = 0.0;

@@ -10,6 +10,7 @@ use sea_ml::linreg::LinearModel;
 use sea_ml::selection::train_test_split;
 use sea_ml::Metrics;
 use sea_optimizer::select_model;
+use sea_telemetry::TelemetrySink;
 
 use crate::Report;
 
@@ -18,10 +19,16 @@ fn noise(i: usize) -> f64 {
     ((i.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0 - 0.5
 }
 
+/// Runs E14 without telemetry.
+pub fn run_e14() -> Result<Report> {
+    run_e14_with(&TelemetrySink::noop())
+}
+
 /// Runs E14. Columns: subspace kind (0 = linear, 1 = step, 2 = smooth
 /// nonlinear), test MSE of the selected family, of always-linear, and the
-/// selected family id (0 linear / 1 knn / 2 boosted).
-pub fn run_e14() -> Result<Report> {
+/// selected family id (0 linear / 1 knn / 2 boosted). Pure in-memory ML —
+/// no simulated cluster — so telemetry is bench-level spans and counters.
+pub fn run_e14_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E14",
         "per-subspace inference-model selection",
@@ -50,6 +57,8 @@ pub fn run_e14() -> Result<Report> {
         (xs, ys)
     };
     for kind in 0..3usize {
+        let span = sink.span("bench.e14.subspace");
+        span.tag("kind", kind);
         let (xs, ys) = make(kind);
         let (train_x, train_y, test_x, test_y) = train_test_split(&xs, &ys, 5)?;
         let (choice, _scores) = select_model(&train_x, &train_y, 5)?;
@@ -61,6 +70,11 @@ pub fn run_e14() -> Result<Report> {
             "knn" => 1.0,
             _ => 2.0,
         };
+        if sink.is_enabled() {
+            span.tag("family", choice.family());
+        }
+        sink.incr("bench.e14.selections", 1);
+        drop(span);
         report.push_row(vec![kind as f64, selected, linear_mse, family]);
     }
     Ok(report)

@@ -9,6 +9,7 @@ use sea_common::{AggregateKind, AnalyticalQuery, Point, Rect, Region, Result};
 use sea_core::agent::AgentConfig;
 use sea_geo::{ConstituentSystem, Polystore};
 use sea_storage::{Partitioning, StorageCluster};
+use sea_telemetry::TelemetrySink;
 
 use crate::Report;
 
@@ -36,18 +37,28 @@ fn count_query(e: f64) -> Result<AnalyticalQuery> {
     ))
 }
 
+/// Runs E15 without telemetry.
+pub fn run_e15() -> Result<Report> {
+    run_e15_with(&TelemetrySink::noop())
+}
+
 /// Runs E15. Columns: strategy (0 = migrate data, 1 = exchange results,
 /// 2 = exchange model answers), inter-system kilobytes, total simulated
-/// ms, and the answer's relative error vs exact.
-pub fn run_e15() -> Result<Report> {
+/// ms, and the answer's relative error vs exact. All three constituent
+/// clusters share `sink`, so the `geo.polystore.*` span trees cover every
+/// system's local execution.
+pub fn run_e15_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E15",
         "polystore: migrate data vs exchange results vs exchange models",
         &["strategy", "inter_system_kb", "total_ms", "rel_err"],
     );
-    let c1 = make_cluster(0, 40_000)?;
-    let c2 = make_cluster(1, 40_000)?;
-    let c3 = make_cluster(2, 40_000)?;
+    let mut c1 = make_cluster(0, 40_000)?;
+    let mut c2 = make_cluster(1, 40_000)?;
+    let mut c3 = make_cluster(2, 40_000)?;
+    c1.set_telemetry(sink.clone());
+    c2.set_telemetry(sink.clone());
+    c3.set_telemetry(sink.clone());
     let systems = vec![
         ConstituentSystem::new(&c1, "t", AgentConfig::default())?,
         ConstituentSystem::new(&c2, "t", AgentConfig::default())?,
@@ -64,6 +75,7 @@ pub fn run_e15() -> Result<Report> {
     let probes = 15;
     for i in 0..probes {
         let q = count_query(6.2 + i as f64 * 0.5)?;
+        sink.begin_query(i as u64);
         let exact = store.query_exchange_results(&q)?;
         let outcomes = [
             store.query_migrate_data(&q)?,

@@ -7,12 +7,20 @@
 
 use sea_common::Result;
 use sea_index::CrackerIndex;
+use sea_telemetry::TelemetrySink;
 
 use crate::Report;
 
+/// Runs E16 without telemetry.
+pub fn run_e16() -> Result<Report> {
+    run_e16_with(&TelemetrySink::noop())
+}
+
 /// Runs E16. Columns: query batch (of 10), mean elements touched per
 /// query by the cracker, by a full re-scan baseline, and cracks held.
-pub fn run_e16() -> Result<Report> {
+/// The cracker is a single in-memory column — no cluster — so telemetry
+/// is bench-level: a span per batch plus touched-element counters.
+pub fn run_e16_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E16",
         "raw-data analytics: adaptive cracking vs rescan",
@@ -34,6 +42,8 @@ pub fn run_e16() -> Result<Report> {
         .collect();
     let mut batch_idx = 0.0;
     for batch in 0..5 {
+        let span = sink.span("bench.e16.batch");
+        span.tag("batch", batch as u64);
         let mut cracked = 0usize;
         let mut scanned = 0usize;
         for (lo, hi) in &recurring {
@@ -46,6 +56,8 @@ pub fn run_e16() -> Result<Report> {
         let (_, touched) = cracker.count(lo, lo + 8_000.0)?;
         cracked += touched;
         scanned += column.len();
+        sink.incr("bench.e16.elements_touched", cracked as u64);
+        drop(span);
         batch_idx += 1.0;
         report.push_row(vec![
             batch_idx,

@@ -10,20 +10,27 @@
 use sea_common::Result;
 use sea_core::{AgentConfig, SeaAgent};
 use sea_query::Executor;
+use sea_telemetry::TelemetrySink;
 use sea_workload::{QueryGenerator, QuerySpec};
 
-use crate::experiments::common::uniform_cluster;
+use crate::experiments::common::{observe_query_us, query_span, uniform_cluster};
 use crate::Report;
+
+/// Runs E17 without telemetry.
+pub fn run_e17() -> Result<Report> {
+    run_e17_with(&TelemetrySink::noop())
+}
 
 /// Runs E17. Columns: bucket's upper estimated-error bound, predictions
 /// in the bucket, mean realized relative error.
-pub fn run_e17() -> Result<Report> {
+pub fn run_e17_with(sink: &TelemetrySink) -> Result<Report> {
     let mut report = Report::new(
         "E17",
         "error-estimate calibration",
         &["est_err_upper", "predictions", "realized_err"],
     );
-    let cluster = uniform_cluster(100_000, 8, 91)?;
+    let mut cluster = uniform_cluster(100_000, 8, 91)?;
+    cluster.set_telemetry(sink.clone());
     let exec = Executor::new(&cluster);
 
     // Train on one hotspot; probe across a spectrum of distances from it,
@@ -31,9 +38,12 @@ pub fn run_e17() -> Result<Report> {
     let mut agent = SeaAgent::new(2, AgentConfig::default())?;
     let spec = QuerySpec::simple_count(vec![35.0, 50.0], 4.0, (4.0, 14.0))?;
     let mut train = QueryGenerator::new(spec, 97)?;
-    for _ in 0..250 {
+    for qid in 0..250u64 {
         let q = train.next_query();
+        let span = query_span(sink, qid);
         if let Ok(exact) = exec.execute_direct("t", &q) {
+            span.record_sim_us(exact.cost.wall_us);
+            observe_query_us(sink, exact.cost.wall_us);
             agent.train(&q, &exact.answer)?;
         }
     }

@@ -20,60 +20,41 @@ mod e15_polystore;
 mod e16_raw_data;
 mod e17_calibration;
 
-pub use a01_ablations::run_a1;
+pub use a01_ablations::{run_a1, run_a1_with};
 pub use e01_dataless::{run_e1, run_e1_with};
-pub use e02_count_accuracy::run_e2;
-pub use e03_avg_regression::run_e3;
+pub use e02_count_accuracy::{run_e2, run_e2_with};
+pub use e03_avg_regression::{run_e3, run_e3_with};
 pub use e04_rankjoin::{run_e4, run_e4_with};
-pub use e05_knn::run_e5;
-pub use e06_graphcache::run_e6;
+pub use e05_knn::{run_e5, run_e5_with};
+pub use e06_graphcache::{run_e6, run_e6_with};
 pub use e07_throughput::{run_e7, run_e7_with};
-pub use e08_storage::run_e8;
-pub use e09_optimizer::run_e9;
-pub use e10_geo::run_e10;
-pub use e11_drift::run_e11;
-pub use e12_explanations::run_e12;
-pub use e13_imputation::run_e13;
-pub use e14_model_selection::run_e14;
-pub use e15_polystore::run_e15;
-pub use e16_raw_data::run_e16;
-pub use e17_calibration::run_e17;
+pub use e08_storage::{run_e8, run_e8_with};
+pub use e09_optimizer::{run_e9, run_e9_with};
+pub use e10_geo::{run_e10, run_e10_with};
+pub use e11_drift::{run_e11, run_e11_with};
+pub use e12_explanations::{run_e12, run_e12_with};
+pub use e13_imputation::{run_e13, run_e13_with};
+pub use e14_model_selection::{run_e14, run_e14_with};
+pub use e15_polystore::{run_e15, run_e15_with};
+pub use e16_raw_data::{run_e16, run_e16_with};
+pub use e17_calibration::{run_e17, run_e17_with};
 
 use crate::Report;
 
-/// Runs one experiment by id (`"e1"`…`"e14"`, case-insensitive).
+/// Runs one experiment by id (`"e1"`…`"e17"` or `"a1"`,
+/// case-insensitive) without telemetry.
 ///
 /// # Errors
 ///
 /// Unknown id or experiment-internal errors.
 pub fn run_by_id(id: &str) -> sea_common::Result<Report> {
-    match id.to_ascii_lowercase().as_str() {
-        "e1" => run_e1(),
-        "e2" => run_e2(),
-        "e3" => run_e3(),
-        "e4" => run_e4(),
-        "e5" => run_e5(),
-        "e6" => run_e6(),
-        "e7" => run_e7(),
-        "e8" => run_e8(),
-        "e9" => run_e9(),
-        "e10" => run_e10(),
-        "e11" => run_e11(),
-        "e12" => run_e12(),
-        "e13" => run_e13(),
-        "e14" => run_e14(),
-        "e15" => run_e15(),
-        "e16" => run_e16(),
-        "e17" => run_e17(),
-        "a1" => run_a1(),
-        other => Err(sea_common::SeaError::NotFound(format!(
-            "experiment {other}"
-        ))),
-    }
+    run_by_id_with(id, &sea_telemetry::TelemetrySink::noop())
 }
 
-/// Runs one experiment by id, feeding telemetry into `sink` where the
-/// experiment is instrumented (E1, E4, E7); other ids run uninstrumented.
+/// Runs one experiment by id, feeding telemetry into `sink`. Every
+/// experiment is instrumented: cluster-backed ones propagate `sink` down
+/// to storage-node spans; the purely in-memory ones (E6, E14, E16) emit
+/// bench-level spans and counters.
 ///
 /// # Errors
 ///
@@ -81,9 +62,26 @@ pub fn run_by_id(id: &str) -> sea_common::Result<Report> {
 pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_common::Result<Report> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => run_e1_with(sink),
+        "e2" => run_e2_with(sink),
+        "e3" => run_e3_with(sink),
         "e4" => run_e4_with(sink),
+        "e5" => run_e5_with(sink),
+        "e6" => run_e6_with(sink),
         "e7" => run_e7_with(sink),
-        other => run_by_id(other),
+        "e8" => run_e8_with(sink),
+        "e9" => run_e9_with(sink),
+        "e10" => run_e10_with(sink),
+        "e11" => run_e11_with(sink),
+        "e12" => run_e12_with(sink),
+        "e13" => run_e13_with(sink),
+        "e14" => run_e14_with(sink),
+        "e15" => run_e15_with(sink),
+        "e16" => run_e16_with(sink),
+        "e17" => run_e17_with(sink),
+        "a1" => run_a1_with(sink),
+        other => Err(sea_common::SeaError::NotFound(format!(
+            "experiment {other}"
+        ))),
     }
 }
 

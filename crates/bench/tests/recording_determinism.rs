@@ -1,0 +1,24 @@
+//! Telemetry must be observational: running an experiment under a
+//! recording sink has to leave its result table bit-identical to the
+//! noop-sink run. Uses the fastest experiments so the check stays cheap.
+
+use sea_bench::experiments::run_by_id_with;
+use sea_telemetry::TelemetrySink;
+
+#[test]
+fn recording_leaves_result_tables_bit_identical() {
+    for id in ["e6", "e14", "e16"] {
+        let quiet = run_by_id_with(id, &TelemetrySink::noop()).unwrap();
+        let sink = TelemetrySink::recording();
+        let recorded = run_by_id_with(id, &sink).unwrap();
+        assert_eq!(
+            quiet, recorded,
+            "{id}: recording telemetry changed the result table"
+        );
+        let snap = sink.snapshot().unwrap();
+        assert!(
+            !snap.spans.roots.is_empty(),
+            "{id}: the recording run actually recorded spans"
+        );
+    }
+}

@@ -135,6 +135,7 @@ impl AgentPipeline {
         query: &AnalyticalQuery,
     ) -> Result<ProcessOutcome> {
         let span = self.telemetry.span("core.pipeline.process");
+        let ctx = span.ctx();
         let mut fallback_reason = "untrained";
         // −1 = the agent produced no estimate at all (kept finite so the
         // payload survives JSON round-trips).
@@ -144,6 +145,12 @@ impl AgentPipeline {
                 self.refresh_every > 0 && self.predictions_since_audit + 1 >= self.refresh_every;
             if pred.estimated_error <= self.error_threshold && !audit_due {
                 self.predictions_since_audit += 1;
+                if self.telemetry.is_enabled() {
+                    span.tag("branch", "predicted");
+                    let predict_span = self.telemetry.span_child_of(&ctx, "core.pipeline.predict");
+                    predict_span.tag("est_error", pred.estimated_error);
+                    predict_span.tag("quantum", pred.quantum);
+                }
                 self.telemetry.event(
                     "agent.predicted",
                     &[
@@ -168,6 +175,10 @@ impl AgentPipeline {
             };
             fallback_est_error = pred.estimated_error;
         }
+        if self.telemetry.is_enabled() {
+            span.tag("branch", "exact");
+            span.tag("fallback_reason", fallback_reason);
+        }
         self.telemetry.event(
             "agent.fallback",
             &[
@@ -177,9 +188,11 @@ impl AgentPipeline {
             ],
         );
         self.predictions_since_audit = 0;
+        // The executor's span tree (scatter → per-node scans → gather)
+        // hangs under this pipeline span via the explicit trace parent.
         let outcome = match self.mode {
-            ExecMode::Bdas => executor.execute_bdas(&self.table, query)?,
-            ExecMode::Direct => executor.execute_direct(&self.table, query)?,
+            ExecMode::Bdas => executor.execute_bdas_traced(&self.table, query, &ctx)?,
+            ExecMode::Direct => executor.execute_direct_traced(&self.table, query, &ctx)?,
         };
         span.record_sim_us(outcome.cost.wall_us);
         self.agent.train(query, &outcome.answer)?;
@@ -287,6 +300,51 @@ mod tests {
             assert_eq!(out.source, AnswerSource::Exact);
             assert!(out.cost.wall_us > 0.0);
         }
+    }
+
+    #[test]
+    fn spans_tag_the_branch_and_propagate_the_trace() {
+        use sea_telemetry::{FieldValue, TelemetrySink};
+        let mut c = cluster();
+        let sink = TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        let exec = Executor::new(&c);
+        let mut pipe = AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct)
+            .unwrap()
+            .with_telemetry(sink.clone());
+        for i in 0..60u64 {
+            sink.begin_query(i);
+            pipe.process(&exec, &query(50.0, 50.0, 3.0 + (i % 10) as f64 * 0.2))
+                .unwrap();
+        }
+        let snap = sink.snapshot().unwrap();
+        let branch = |r: &&sea_telemetry::SpanNode, want: &str| matches!(r.tag("branch"), Some(FieldValue::Str(s)) if s == want);
+        let exact = snap
+            .spans
+            .roots
+            .iter()
+            .find(|r| branch(r, "exact"))
+            .expect("at least one exact query");
+        let exec_span = exact
+            .find("query.executor.direct")
+            .expect("executor tree under the pipeline span");
+        assert_eq!(exec_span.trace_id, exact.trace_id);
+        assert_eq!(exec_span.parent_span_id, exact.span_id);
+        assert!(
+            exact.find("storage.node.scan").is_some(),
+            "trace reaches storage"
+        );
+        let predicted = snap
+            .spans
+            .roots
+            .iter()
+            .find(|r| branch(r, "predicted"))
+            .expect("at least one predicted query");
+        assert!(predicted.find("core.pipeline.predict").is_some());
+        assert!(
+            predicted.find("storage.node.scan").is_none(),
+            "predictions touch no base data"
+        );
     }
 
     #[test]

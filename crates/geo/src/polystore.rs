@@ -28,6 +28,7 @@ use sea_common::{
 use sea_core::agent::{AgentConfig, SeaAgent};
 use sea_query::Executor;
 use sea_storage::{StorageCluster, DIRECT_LAYERS};
+use sea_telemetry::TelemetrySink;
 
 /// One constituent system of the polystore.
 pub struct ConstituentSystem<'a> {
@@ -72,6 +73,9 @@ pub struct Polystore<'a> {
     /// Error budget for model answers in
     /// [`Polystore::query_exchange_models`].
     error_threshold: f64,
+    /// Inherited from the coordinator (first) system's cluster;
+    /// `geo.polystore.*` spans and events flow here.
+    telemetry: TelemetrySink,
 }
 
 impl<'a> Polystore<'a> {
@@ -87,6 +91,7 @@ impl<'a> Polystore<'a> {
             ));
         };
         let dims = first.agent.dims();
+        let telemetry = first.cluster.telemetry().clone();
         for s in &systems {
             SeaError::check_dims(dims, s.agent.dims())?;
         }
@@ -94,6 +99,7 @@ impl<'a> Polystore<'a> {
             systems,
             cost_model: CostModel::default(),
             error_threshold,
+            telemetry,
         })
     }
 
@@ -128,10 +134,15 @@ impl<'a> Polystore<'a> {
     /// Unsupported aggregate, or execution errors.
     pub fn query_migrate_data(&self, query: &AnalyticalQuery) -> Result<PolystoreOutcome> {
         check_supported(&query.aggregate)?;
+        let span = self.telemetry.span("geo.polystore.migrate_data");
         let mut cost = CostReport::zero();
         let mut inter_bytes = 0u64;
         let mut all: Vec<Record> = Vec::new();
         for (i, s) in self.systems.iter().enumerate() {
+            let sys_span = self
+                .telemetry
+                .span_child_of(&span.ctx(), "geo.polystore.system");
+            sys_span.tag("system", i);
             let bbox = query.region.bounding_rect();
             let nodes = s.cluster.nodes_for_region(&s.table, &bbox)?;
             let mut node_meters = Vec::new();
@@ -139,9 +150,13 @@ impl<'a> Polystore<'a> {
             for node in nodes {
                 let mut meter = CostMeter::new();
                 meter.touch_node(DIRECT_LAYERS);
-                let records = s
-                    .cluster
-                    .scan_node_region(&s.table, node, &bbox, &mut meter)?;
+                let records = s.cluster.scan_node_region_traced(
+                    &s.table,
+                    node,
+                    &bbox,
+                    &sys_span.ctx(),
+                    &mut meter,
+                )?;
                 matched.extend(
                     records
                         .into_iter()
@@ -157,10 +172,15 @@ impl<'a> Polystore<'a> {
                 let bytes: u64 = matched.iter().map(Record::storage_bytes).sum();
                 coord.charge_wan(bytes);
                 inter_bytes += bytes;
+                self.telemetry
+                    .incr("geo.polystore.inter_system_bytes", bytes);
             }
-            cost = cost.then(&coord.report_parallel(node_meters.iter(), &self.cost_model));
+            let report = coord.report_parallel(node_meters.iter(), &self.cost_model);
+            sys_span.record_sim_us(report.wall_us);
+            cost = cost.then(&report);
             all.extend(matched);
         }
+        span.tag("inter_system_bytes", inter_bytes);
         let answer = query.aggregate.compute(&all)?;
         Ok(PolystoreOutcome {
             answer,
@@ -178,21 +198,32 @@ impl<'a> Polystore<'a> {
     /// Unsupported aggregate, or execution errors.
     pub fn query_exchange_results(&self, query: &AnalyticalQuery) -> Result<PolystoreOutcome> {
         check_supported(&query.aggregate)?;
+        let span = self.telemetry.span("geo.polystore.exchange_results");
         let mut cost = CostReport::zero();
         let mut inter_bytes = 0u64;
         let mut total = 0.0;
         for (i, s) in self.systems.iter().enumerate() {
+            let sys_span = self
+                .telemetry
+                .span_child_of(&span.ctx(), "geo.polystore.system");
+            sys_span.tag("system", i);
             let exec = Executor::new(s.cluster);
-            let out = exec.execute_direct(&s.table, query)?;
+            let out = exec.execute_direct_traced(&s.table, query, &sys_span.ctx())?;
             total += out.answer.as_scalar().unwrap_or(0.0);
             cost = cost.then(&out.cost);
             if i != 0 {
                 let mut m = CostMeter::new();
                 m.charge_wan(24);
                 inter_bytes += 24;
-                cost = cost.then(&m.report_sequential(&self.cost_model));
+                self.telemetry.incr("geo.polystore.inter_system_bytes", 24);
+                let wan = m.report_sequential(&self.cost_model);
+                // The executor's own spans carry the local execution cost;
+                // this span carries only the inter-system hop.
+                sys_span.record_sim_us(wan.wall_us);
+                cost = cost.then(&wan);
             }
         }
+        span.tag("inter_system_bytes", inter_bytes);
         Ok(PolystoreOutcome {
             answer: AnswerValue::Scalar(total),
             cost,
@@ -210,19 +241,35 @@ impl<'a> Polystore<'a> {
     /// Unsupported aggregate, or execution errors on fallback systems.
     pub fn query_exchange_models(&self, query: &AnalyticalQuery) -> Result<PolystoreOutcome> {
         check_supported(&query.aggregate)?;
+        let span = self.telemetry.span("geo.polystore.exchange_models");
         let mut cost = CostReport::zero();
         let mut inter_bytes = 0u64;
         let mut total = 0.0;
         let mut model_answers = 0usize;
         for (i, s) in self.systems.iter().enumerate() {
+            let sys_span = self
+                .telemetry
+                .span_child_of(&span.ctx(), "geo.polystore.system");
+            sys_span.tag("system", i);
             let local = match s.agent.predict(query) {
                 Ok(pred) if pred.estimated_error <= self.error_threshold => {
                     model_answers += 1;
+                    if self.telemetry.is_enabled() {
+                        sys_span.tag("source", "model");
+                        self.telemetry.event(
+                            "geo.polystore.model_answered",
+                            &[("system", (i as u64).into())],
+                        );
+                    }
+                    self.telemetry.incr("geo.polystore.model_answers", 1);
                     pred.answer.as_scalar().unwrap_or(0.0)
                 }
                 _ => {
+                    if self.telemetry.is_enabled() {
+                        sys_span.tag("source", "local_exact");
+                    }
                     let exec = Executor::new(s.cluster);
-                    let out = exec.execute_direct(&s.table, query)?;
+                    let out = exec.execute_direct_traced(&s.table, query, &sys_span.ctx())?;
                     cost = cost.then(&out.cost);
                     out.answer.as_scalar().unwrap_or(0.0)
                 }
@@ -232,8 +279,15 @@ impl<'a> Polystore<'a> {
                 let mut m = CostMeter::new();
                 m.charge_wan(24);
                 inter_bytes += 24;
-                cost = cost.then(&m.report_sequential(&self.cost_model));
+                self.telemetry.incr("geo.polystore.inter_system_bytes", 24);
+                let wan = m.report_sequential(&self.cost_model);
+                sys_span.record_sim_us(wan.wall_us);
+                cost = cost.then(&wan);
             }
+        }
+        if self.telemetry.is_enabled() {
+            span.tag("inter_system_bytes", inter_bytes);
+            span.tag("model_answers", model_answers as u64);
         }
         Ok(PolystoreOutcome {
             answer: AnswerValue::Scalar(total),
@@ -258,6 +312,7 @@ mod tests {
     use super::*;
     use sea_common::{Point, Rect, Region};
     use sea_storage::Partitioning;
+    use sea_telemetry::FieldValue;
 
     fn make_cluster(seed_shift: u64) -> StorageCluster {
         let mut c = StorageCluster::new(4, 256);
@@ -349,6 +404,53 @@ mod tests {
         assert_eq!(out.model_answers, 0);
         let exact = store.query_exchange_results(&q).unwrap();
         assert_eq!(out.answer, exact.answer);
+    }
+
+    #[test]
+    fn polystore_spans_cover_every_system() {
+        let sink = sea_telemetry::TelemetrySink::recording();
+        let mut c1 = make_cluster(0);
+        c1.set_telemetry(sink.clone());
+        let mut c2 = make_cluster(1);
+        c2.set_telemetry(sink.clone());
+        let systems = vec![
+            ConstituentSystem::new(&c1, "t", AgentConfig::default()).unwrap(),
+            ConstituentSystem::new(&c2, "t", AgentConfig::default()).unwrap(),
+        ];
+        let store = Polystore::new(systems, 0.15).unwrap();
+        let q = count_query(6.0);
+        store.query_migrate_data(&q).unwrap();
+        store.query_exchange_results(&q).unwrap();
+        let snap = store.telemetry.snapshot().unwrap();
+        let migrate = snap
+            .spans
+            .roots
+            .iter()
+            .find(|s| s.name == "geo.polystore.migrate_data")
+            .expect("migrate_data root span");
+        let sys_spans: Vec<_> = migrate
+            .children
+            .iter()
+            .filter(|c| c.name == "geo.polystore.system")
+            .collect();
+        assert_eq!(sys_spans.len(), 2, "one child span per constituent system");
+        for (i, s) in sys_spans.iter().enumerate() {
+            assert_eq!(s.trace_id, migrate.trace_id);
+            assert_eq!(s.parent_span_id, migrate.span_id);
+            assert_eq!(s.tag("system"), Some(&FieldValue::U64(i as u64)));
+            assert!(
+                s.find("storage.node.scan").is_some(),
+                "system {i} span reaches storage"
+            );
+        }
+        let exchange = snap
+            .spans
+            .roots
+            .iter()
+            .find(|s| s.name == "geo.polystore.exchange_results")
+            .expect("exchange_results root span");
+        assert!(exchange.find("query.executor.direct").is_some());
+        assert!(snap.counter("geo.polystore.inter_system_bytes") > 0);
     }
 
     #[test]

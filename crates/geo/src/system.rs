@@ -4,6 +4,7 @@ use sea_common::{AnalyticalQuery, AnswerValue, CostModel, CostReport, Rect, Resu
 use sea_core::agent::{AgentConfig, SeaAgent};
 use sea_query::Executor;
 use sea_storage::StorageCluster;
+use sea_telemetry::TelemetrySink;
 
 /// Configuration of the geo-distributed deployment.
 #[derive(Debug, Clone)]
@@ -104,6 +105,8 @@ pub struct GeoSystem<'a> {
     config: GeoConfig,
     cost_model: CostModel,
     stats: GeoStats,
+    /// Inherited from the cluster; `geo.*` spans and events flow here.
+    telemetry: TelemetrySink,
 }
 
 impl<'a> GeoSystem<'a> {
@@ -139,7 +142,13 @@ impl<'a> GeoSystem<'a> {
                 wan_msgs: 0,
                 total_response_us: 0.0,
             },
+            telemetry: cluster.telemetry().clone(),
         })
+    }
+
+    /// The system's telemetry sink (inherited from the cluster).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// Number of edge nodes.
@@ -175,6 +184,8 @@ impl<'a> GeoSystem<'a> {
     ///
     /// Unknown edge, or exact-execution errors when escalated.
     pub fn submit(&mut self, edge: usize, query: &AnalyticalQuery) -> Result<GeoOutcome> {
+        let span = self.telemetry.span("geo.edge.submit");
+        span.tag("edge", edge);
         let threshold = self.config.error_threshold;
         let edge_node = self
             .edges
@@ -188,6 +199,18 @@ impl<'a> GeoSystem<'a> {
                 self.stats.queries += 1;
                 self.stats.edge_answered += 1;
                 self.stats.total_response_us += EDGE_PREDICT_US;
+                span.record_sim_us(EDGE_PREDICT_US);
+                if self.telemetry.is_enabled() {
+                    span.tag("source", "edge_model");
+                    self.telemetry.incr("geo.edge_answered", 1);
+                    self.telemetry.event(
+                        "geo.edge_answered",
+                        &[
+                            ("edge", edge.into()),
+                            ("est_error", pred.estimated_error.into()),
+                        ],
+                    );
+                }
                 return Ok(GeoOutcome {
                     answer: pred.answer,
                     response_us: EDGE_PREDICT_US,
@@ -198,15 +221,39 @@ impl<'a> GeoSystem<'a> {
         }
 
         // Escalate: WAN round trip (request + response) plus core execution.
+        // The core executor's span tree hangs under this escalation span,
+        // so the edge → core hop stays one coherent trace.
         let query_bytes = 16 * query.region.dims() as u64 + 32;
         let answer_bytes = 24u64;
-        let core = self.executor.execute_direct(&self.table, query)?;
+        let escalate = self
+            .telemetry
+            .span_child_of(&span.ctx(), "geo.core.escalate");
+        let core = self
+            .executor
+            .execute_direct_traced(&self.table, query, &escalate.ctx())?;
         let wan_bytes = query_bytes + answer_bytes;
         let wan_us =
             2.0 * self.cost_model.wan_msg_us + wan_bytes as f64 * self.cost_model.wan_byte_us;
         let response_us = EDGE_PREDICT_US + wan_us + core.cost.wall_us;
+        escalate.record_sim_us(wan_us + core.cost.wall_us);
+        if self.telemetry.is_enabled() {
+            escalate.tag("wan_bytes", wan_bytes);
+            span.tag("source", "core_exact");
+            self.telemetry.incr("geo.core_answered", 1);
+            self.telemetry.incr("geo.wan_bytes", wan_bytes);
+            self.telemetry.incr("geo.wan_msgs", 2);
+            self.telemetry.event(
+                "geo.core_escalated",
+                &[("edge", edge.into()), ("wan_bytes", wan_bytes.into())],
+            );
+        }
+        drop(escalate);
 
         // The exact answer trains both the edge and the master.
+        let edge_node = self
+            .edges
+            .get_mut(edge)
+            .ok_or_else(|| SeaError::NotFound(format!("edge {edge}")))?;
         edge_node.agent.train(query, &core.answer)?;
         self.master.train(query, &core.answer)?;
 
@@ -215,6 +262,9 @@ impl<'a> GeoSystem<'a> {
         self.stats.wan_bytes += wan_bytes;
         self.stats.wan_msgs += 2;
         self.stats.total_response_us += response_us;
+        // The escalation span carries the WAN + core cost; only the local
+        // predict attempt is this span's own share.
+        span.record_sim_us(EDGE_PREDICT_US);
         Ok(GeoOutcome {
             answer: core.answer,
             response_us,
@@ -234,6 +284,8 @@ impl<'a> GeoSystem<'a> {
     ///
     /// Unknown edge, or exact-execution errors when escalated.
     pub fn submit_routed(&mut self, edge: usize, query: &AnalyticalQuery) -> Result<GeoOutcome> {
+        let span = self.telemetry.span("geo.edge.submit_routed");
+        span.tag("edge", edge);
         let threshold = self.config.error_threshold;
         if edge >= self.edges.len() {
             return Err(SeaError::NotFound(format!("edge {edge}")));
@@ -245,6 +297,11 @@ impl<'a> GeoSystem<'a> {
                 self.stats.queries += 1;
                 self.stats.edge_answered += 1;
                 self.stats.total_response_us += EDGE_PREDICT_US;
+                span.record_sim_us(EDGE_PREDICT_US);
+                if self.telemetry.is_enabled() {
+                    span.tag("source", "edge_model");
+                    self.telemetry.incr("geo.edge_answered", 1);
+                }
                 return Ok(GeoOutcome {
                     answer: pred.answer,
                     response_us: EDGE_PREDICT_US,
@@ -263,6 +320,10 @@ impl<'a> GeoSystem<'a> {
                 continue;
             }
             polled += 1;
+            let sibling_span = self
+                .telemetry
+                .span_child_of(&span.ctx(), "geo.edge.sibling_poll");
+            sibling_span.tag("sibling", sibling);
             if let Ok(pred) = self.edges[sibling].agent.predict(query) {
                 if pred.estimated_error <= threshold {
                     let hop_bytes = polled * (query_bytes + answer_bytes);
@@ -275,6 +336,21 @@ impl<'a> GeoSystem<'a> {
                     self.stats.wan_bytes += hop_bytes;
                     self.stats.wan_msgs += 2 * polled;
                     self.stats.total_response_us += response_us;
+                    sibling_span.record_sim_us(hop_us);
+                    if self.telemetry.is_enabled() {
+                        span.tag("source", "sibling_edge");
+                        self.telemetry.incr("geo.sibling_answered", 1);
+                        self.telemetry.incr("geo.wan_bytes", hop_bytes);
+                        self.telemetry.event(
+                            "geo.sibling_answered",
+                            &[
+                                ("edge", edge.into()),
+                                ("sibling", sibling.into()),
+                                ("polled", polled.into()),
+                                ("wan_bytes", hop_bytes.into()),
+                            ],
+                        );
+                    }
                     return Ok(GeoOutcome {
                         answer: pred.answer,
                         response_us,
@@ -305,9 +381,12 @@ impl<'a> GeoSystem<'a> {
     ///
     /// Exact-execution errors.
     pub fn submit_all_to_core(&mut self, query: &AnalyticalQuery) -> Result<GeoOutcome> {
+        let span = self.telemetry.span("geo.core.submit");
         let query_bytes = 16 * query.region.dims() as u64 + 32;
         let answer_bytes = 24u64;
-        let core = self.executor.execute_direct(&self.table, query)?;
+        let core = self
+            .executor
+            .execute_direct_traced(&self.table, query, &span.ctx())?;
         let wan_bytes = query_bytes + answer_bytes;
         let wan_us =
             2.0 * self.cost_model.wan_msg_us + wan_bytes as f64 * self.cost_model.wan_byte_us;
@@ -317,6 +396,14 @@ impl<'a> GeoSystem<'a> {
         self.stats.wan_bytes += wan_bytes;
         self.stats.wan_msgs += 2;
         self.stats.total_response_us += response_us;
+        // The executor subtree carries the core cost; the WAN hop is
+        // this span's own share.
+        span.record_sim_us(wan_us);
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr("geo.core_answered", 1);
+            self.telemetry.incr("geo.wan_bytes", wan_bytes);
+            self.telemetry.incr("geo.wan_msgs", 2);
+        }
         Ok(GeoOutcome {
             answer: core.answer,
             response_us,
@@ -344,6 +431,17 @@ impl<'a> GeoSystem<'a> {
         self.edges[edge].agent = SeaAgent::from_json(&payload)?;
         self.stats.wan_bytes += bytes;
         self.stats.wan_msgs += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr("geo.wan_bytes", bytes);
+            self.telemetry.event(
+                "geo.model_synced",
+                &[
+                    ("edge", edge.into()),
+                    ("bytes", bytes.into()),
+                    ("selective", false.into()),
+                ],
+            );
+        }
         Ok(bytes)
     }
 
@@ -366,6 +464,17 @@ impl<'a> GeoSystem<'a> {
         self.edges[edge].agent = SeaAgent::from_json(&payload)?;
         self.stats.wan_bytes += bytes;
         self.stats.wan_msgs += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr("geo.wan_bytes", bytes);
+            self.telemetry.event(
+                "geo.model_synced",
+                &[
+                    ("edge", edge.into()),
+                    ("bytes", bytes.into()),
+                    ("selective", true.into()),
+                ],
+            );
+        }
         Ok(bytes)
     }
 
@@ -570,6 +679,28 @@ mod tests {
         assert!(geo.sync_edge(99).is_err());
         assert!(geo.edge_agent(0).is_ok());
         assert_eq!(geo.num_edges(), 4);
+    }
+
+    #[test]
+    fn escalation_trace_spans_edge_to_storage() {
+        let mut c = cluster();
+        let sink = TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        let mut geo = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
+        // First query is always escalated (untrained edge).
+        geo.submit(0, &query(50.0, 3.0)).unwrap();
+        let snap = sink.snapshot().unwrap();
+        let root = &snap.spans.roots[0];
+        assert_eq!(root.name, "geo.edge.submit");
+        let escalate = root.find("geo.core.escalate").unwrap();
+        assert_eq!(escalate.parent_span_id, root.span_id);
+        let exec = escalate.find("query.executor.direct").unwrap();
+        assert_eq!(exec.trace_id, root.trace_id);
+        let scan = exec.find("storage.node.scan").unwrap();
+        assert_eq!(scan.trace_id, root.trace_id, "trace reaches storage");
+        assert!(escalate.sim_us > 0.0, "WAN + core cost attributed");
+        assert_eq!(snap.event_count("geo.core_escalated"), 1);
+        assert!(snap.counter("geo.wan_bytes") > 0);
     }
 
     #[test]

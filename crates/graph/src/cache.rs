@@ -1,6 +1,6 @@
 //! The GraphCache-style semantic cache for subgraph queries.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::db::{GraphDb, QueryStats};
 use crate::graph::Graph;
@@ -38,7 +38,11 @@ struct CacheEntry {
 pub struct GraphCache {
     capacity: usize,
     /// fingerprint → entries (collisions resolved by exact isomorphism).
-    entries: HashMap<u64, Vec<CacheEntry>>,
+    /// A `BTreeMap` so the semantic-hit scan in [`Self::query`] visits
+    /// entries in a fixed order: the tightest-subgraph tie-break keeps
+    /// the first candidate set seen, and hash-map iteration order would
+    /// make that (and hence verification counts) vary run to run.
+    entries: BTreeMap<u64, Vec<CacheEntry>>,
     /// Insertion order for FIFO eviction.
     order: Vec<u64>,
     hits_exact: u64,
@@ -52,7 +56,7 @@ impl GraphCache {
     pub fn new(capacity: usize) -> Self {
         GraphCache {
             capacity: capacity.max(1),
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: Vec::new(),
             hits_exact: 0,
             hits_sub: 0,

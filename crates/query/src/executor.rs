@@ -5,7 +5,7 @@ use sea_common::{
     Record, Result,
 };
 use sea_storage::{StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
-use sea_telemetry::TelemetrySink;
+use sea_telemetry::{TelemetrySink, TraceContext};
 
 /// The outcome of executing one analytical query: the exact answer plus
 /// the full resource bill.
@@ -96,29 +96,60 @@ impl<'a> Executor<'a> {
     /// Missing table, dimension mismatch, or aggregate errors (e.g. an
     /// operator undefined on an empty selection).
     pub fn execute_bdas(&self, table: &str, query: &AnalyticalQuery) -> Result<QueryOutcome> {
-        let _exec_span = self.telemetry.span("query.executor.bdas");
+        self.execute_bdas_traced(table, query, &TraceContext::NONE)
+    }
+
+    /// [`Executor::execute_bdas`] with an explicit trace parent: the
+    /// executor's span tree (scatter → per-node scans → gather) attaches
+    /// under `parent`, so a pipeline or geo coordinator's trace stays one
+    /// coherent tree across the hop. Each engaged node gets its own
+    /// `query.executor.node` span tagged with the node id and carrying
+    /// that node's simulated cost; the scatter span is tagged with the
+    /// parallel makespan (max over nodes).
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::execute_bdas`].
+    pub fn execute_bdas_traced(
+        &self,
+        table: &str,
+        query: &AnalyticalQuery,
+        parent: &TraceContext,
+    ) -> Result<QueryOutcome> {
+        let _exec_span = self.telemetry.span_child_of(parent, "query.executor.bdas");
         self.telemetry.incr("query.executor.bdas_queries", 1);
         query.aggregate.validate(self.cluster.dims(table)?)?;
         let mut node_meters = Vec::with_capacity(self.cluster.num_nodes());
         let mut partials = Vec::with_capacity(self.cluster.num_nodes());
         {
             let scatter = self.telemetry.span("query.executor.scatter");
+            let scatter_ctx = scatter.ctx();
             for node in 0..self.cluster.num_nodes() {
+                let node_span = self
+                    .telemetry
+                    .span_child_of(&scatter_ctx, "query.executor.node");
+                node_span.tag("node", node);
                 let mut meter = CostMeter::new();
                 meter.touch_node(BDAS_LAYERS);
-                let records = self.cluster.scan_node(table, node, &mut meter)?;
+                let records =
+                    self.cluster
+                        .scan_node_traced(table, node, &node_span.ctx(), &mut meter)?;
                 let matched: Vec<&Record> = records
                     .into_iter()
                     .filter(|r| query.region.contains_record(r))
                     .collect();
                 let partial = make_partial(&query.aggregate, &matched);
                 meter.charge_lan(partial.wire_bytes());
+                node_span.record_sim_us(meter.sequential_us(&self.cost_model));
                 partials.push(partial);
                 node_meters.push(meter);
             }
             // Nodes run in parallel: the scatter phase lasts as long as
-            // its slowest node under the cost model.
-            scatter.record_sim_us(
+            // its slowest node under the cost model. The per-node spans
+            // carry the per-node costs; the makespan is a tag so the
+            // tree's sim rollup doesn't double-count.
+            scatter.tag(
+                "sim_makespan_us",
                 node_meters
                     .iter()
                     .map(|m| m.sequential_us(&self.cost_model))
@@ -144,7 +175,24 @@ impl<'a> Executor<'a> {
     ///
     /// As [`Executor::execute_bdas`].
     pub fn execute_direct(&self, table: &str, query: &AnalyticalQuery) -> Result<QueryOutcome> {
-        let _exec_span = self.telemetry.span("query.executor.direct");
+        self.execute_direct_traced(table, query, &TraceContext::NONE)
+    }
+
+    /// [`Executor::execute_direct`] with an explicit trace parent (see
+    /// [`Executor::execute_bdas_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::execute_direct`].
+    pub fn execute_direct_traced(
+        &self,
+        table: &str,
+        query: &AnalyticalQuery,
+        parent: &TraceContext,
+    ) -> Result<QueryOutcome> {
+        let _exec_span = self
+            .telemetry
+            .span_child_of(parent, "query.executor.direct");
         self.telemetry.incr("query.executor.direct_queries", 1);
         query.aggregate.validate(self.cluster.dims(table)?)?;
         let bbox = query.region.bounding_rect();
@@ -155,23 +203,34 @@ impl<'a> Executor<'a> {
         let mut partials = Vec::with_capacity(candidates.len());
         {
             let scatter = self.telemetry.span("query.executor.scatter");
+            let scatter_ctx = scatter.ctx();
             for node in candidates {
+                let node_span = self
+                    .telemetry
+                    .span_child_of(&scatter_ctx, "query.executor.node");
+                node_span.tag("node", node);
                 coord.charge_lan(64);
                 let mut meter = CostMeter::new();
                 meter.touch_node(DIRECT_LAYERS);
-                let in_bbox = self
-                    .cluster
-                    .scan_node_region(table, node, &bbox, &mut meter)?;
+                let in_bbox = self.cluster.scan_node_region_traced(
+                    table,
+                    node,
+                    &bbox,
+                    &node_span.ctx(),
+                    &mut meter,
+                )?;
                 let matched: Vec<&Record> = in_bbox
                     .into_iter()
                     .filter(|r| query.region.contains_record(r))
                     .collect();
                 let partial = make_partial(&query.aggregate, &matched);
                 meter.charge_lan(partial.wire_bytes());
+                node_span.record_sim_us(meter.sequential_us(&self.cost_model));
                 partials.push(partial);
                 node_meters.push(meter);
             }
-            scatter.record_sim_us(
+            scatter.tag(
+                "sim_makespan_us",
                 node_meters
                     .iter()
                     .map(|m| m.sequential_us(&self.cost_model))
@@ -519,6 +578,60 @@ mod tests {
         );
         assert!(exec.execute_bdas("t", &q).is_err());
         assert!(exec.execute_direct("t", &q).is_err());
+    }
+
+    #[test]
+    fn recording_sink_yields_one_coherent_span_tree() {
+        use sea_telemetry::FieldValue;
+        let mut c = cluster();
+        let sink = TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        let exec = Executor::new(&c);
+        sink.begin_query(9);
+        let q = count_query(vec![10.0, 0.0, 0.0], vec![60.0, 15.0, 6.0]);
+        exec.execute_bdas("t", &q).unwrap();
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.spans.roots.len(), 1, "one query → one span tree");
+        let root = &snap.spans.roots[0];
+        assert_eq!(root.name, "query.executor.bdas");
+        assert_eq!(root.trace_id, sea_telemetry::trace_id_for_query(9));
+        let scatter = root.find("query.executor.scatter").unwrap();
+        let nodes: Vec<_> = scatter
+            .children
+            .iter()
+            .filter(|s| s.name == "query.executor.node")
+            .collect();
+        assert_eq!(nodes.len(), 4, "every node under scatter");
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.tag("node"), Some(&FieldValue::U64(i as u64)));
+            assert!(n.sim_us > 0.0, "per-node sim cost attributed");
+            assert_eq!(n.trace_id, root.trace_id, "single trace end to end");
+            let scan = n.find("storage.node.scan").expect("scan under its node");
+            assert_eq!(scan.parent_span_id, n.span_id);
+            assert_eq!(scan.tag("node"), Some(&FieldValue::U64(i as u64)));
+        }
+        assert!(root.find("query.executor.gather").is_some());
+        assert!(scatter.tag("sim_makespan_us").is_some());
+    }
+
+    #[test]
+    fn direct_traced_attributes_only_engaged_nodes() {
+        let mut c = cluster();
+        let sink = TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        let exec = Executor::new(&c);
+        let q = count_query(vec![10.0, 0.0, 0.0], vec![20.0, 1e9, 6.0]);
+        exec.execute_direct("t_range", &q).unwrap();
+        let snap = sink.snapshot().unwrap();
+        let root = &snap.spans.roots[0];
+        assert_eq!(root.name, "query.executor.direct");
+        let scatter = root.find("query.executor.scatter").unwrap();
+        let nodes: Vec<_> = scatter
+            .children
+            .iter()
+            .filter(|s| s.name == "query.executor.node")
+            .collect();
+        assert_eq!(nodes.len(), 1, "range pruning → one engaged node");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use sea_common::{CostMeter, Record, Rect, Result, SeaError};
-use sea_telemetry::TelemetrySink;
+use sea_telemetry::{TelemetrySink, TraceContext};
 
 use crate::node::DataNode;
 use crate::partition::{NodeId, Partitioning};
@@ -319,9 +319,33 @@ impl StorageCluster {
         node: NodeId,
         meter: &mut CostMeter,
     ) -> Result<Vec<&'a Record>> {
+        self.scan_node_traced(name, node, &TraceContext::NONE, meter)
+    }
+
+    /// [`StorageCluster::scan_node`] with an explicit trace parent: the
+    /// scan's `storage.node.scan` span attaches under `parent` (the
+    /// caller's per-node span), modelling the executor → storage-node
+    /// hop carrying a trace header. With [`TraceContext::NONE`] this is
+    /// exactly `scan_node`.
+    ///
+    /// # Errors
+    ///
+    /// As [`StorageCluster::scan_node`].
+    pub fn scan_node_traced<'a>(
+        &'a self,
+        name: &str,
+        node: NodeId,
+        parent: &TraceContext,
+        meter: &mut CostMeter,
+    ) -> Result<Vec<&'a Record>> {
         let meta = self.meta(name)?;
         let n = self.serving_copy(meta, node)?;
-        let _span = self.telemetry.span("storage.node.scan");
+        let span = self.telemetry.span_child_of(parent, "storage.node.scan");
+        if self.telemetry.is_enabled() {
+            span.tag("node", node);
+            span.tag("table", name);
+            span.tag("kind", "full");
+        }
         let (records, stats) = n.scan_all_stats(meter);
         self.note_scan(name, node, "full", &stats);
         Ok(records)
@@ -395,10 +419,32 @@ impl StorageCluster {
         region: &Rect,
         meter: &mut CostMeter,
     ) -> Result<Vec<&'a Record>> {
+        self.scan_node_region_traced(name, node, region, &TraceContext::NONE, meter)
+    }
+
+    /// [`StorageCluster::scan_node_region`] with an explicit trace
+    /// parent (see [`StorageCluster::scan_node_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`StorageCluster::scan_node_region`].
+    pub fn scan_node_region_traced<'a>(
+        &'a self,
+        name: &str,
+        node: NodeId,
+        region: &Rect,
+        parent: &TraceContext,
+        meter: &mut CostMeter,
+    ) -> Result<Vec<&'a Record>> {
         let meta = self.meta(name)?;
         SeaError::check_dims(meta.dims, region.dims())?;
         let n = self.serving_copy(meta, node)?;
-        let _span = self.telemetry.span("storage.node.scan");
+        let span = self.telemetry.span_child_of(parent, "storage.node.scan");
+        if self.telemetry.is_enabled() {
+            span.tag("node", node);
+            span.tag("table", name);
+            span.tag("kind", "region");
+        }
         let (records, stats) = n.scan_region_stats(region, meter);
         self.note_scan(name, node, "region", &stats);
         Ok(records)

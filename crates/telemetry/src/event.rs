@@ -10,8 +10,13 @@ use std::collections::{HashMap, VecDeque};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::trace::TraceContext;
+
 /// Maximum events retained in the ring buffer.
-const MAX_EVENTS: usize = 4096;
+/// Ring capacity: pushing beyond this many retained events evicts the
+/// oldest (per-name totals and the sink's dropped-events counter keep
+/// the full story).
+pub const MAX_EVENTS: usize = 4096;
 
 /// A structured payload value attached to an event field.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -86,24 +91,37 @@ pub(crate) struct EventLog {
 }
 
 impl EventLog {
-    pub(crate) fn push(&self, name: &str, query: Option<u64>, fields: &[(&str, FieldValue)]) {
+    /// Appends an event; returns `true` when an older event was evicted
+    /// to make room (the sink surfaces that as the
+    /// `telemetry.events_dropped` counter).
+    pub(crate) fn push(
+        &self,
+        name: &str,
+        query: Option<u64>,
+        ctx: TraceContext,
+        fields: &[(&str, FieldValue)],
+    ) -> bool {
         let mut state = self.state.lock();
         let seq = state.seq;
         state.seq += 1;
         *state.totals_by_name.entry(name.to_string()).or_default() += 1;
-        if state.ring.len() == MAX_EVENTS {
+        let evicting = state.ring.len() == MAX_EVENTS;
+        if evicting {
             state.ring.pop_front();
             state.evicted += 1;
         }
         state.ring.push_back(EventSnapshot {
             seq,
             query,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
             name: name.to_string(),
             fields: fields
                 .iter()
                 .map(|(k, v)| ((*k).to_string(), v.clone()))
                 .collect(),
         });
+        evicting
     }
 
     pub(crate) fn snapshot(&self) -> EventLogSnapshot {
@@ -129,6 +147,10 @@ pub struct EventSnapshot {
     pub seq: u64,
     /// Query id active when the event fired, if any.
     pub query: Option<u64>,
+    /// Trace of the innermost open span when the event fired (0 = none).
+    pub trace_id: u64,
+    /// Span the event fired inside (0 = none).
+    pub span_id: u64,
     pub name: String,
     pub fields: Vec<(String, FieldValue)>,
 }
@@ -150,12 +172,16 @@ mod tests {
     #[test]
     fn ring_evicts_oldest_but_totals_survive() {
         let log = EventLog::default();
+        let mut evictions = 0u64;
         for _ in 0..(MAX_EVENTS + 5) {
-            log.push("e", None, &[]);
+            if log.push("e", None, TraceContext::NONE, &[]) {
+                evictions += 1;
+            }
         }
         let snap = log.snapshot();
         assert_eq!(snap.events.len(), MAX_EVENTS);
         assert_eq!(snap.evicted, 5);
+        assert_eq!(evictions, 5);
         assert_eq!(snap.totals_by_name[0].1, (MAX_EVENTS + 5) as u64);
         assert_eq!(snap.events[0].seq, 5);
     }
@@ -166,6 +192,7 @@ mod tests {
         log.push(
             "agent.predicted",
             Some(3),
+            TraceContext::NONE,
             &[
                 ("est_error", 0.01.into()),
                 ("quantum", 2u64.into()),

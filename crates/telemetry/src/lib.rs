@@ -40,17 +40,24 @@
 //! ```
 
 pub mod event;
+pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-pub use event::{EventLogSnapshot, EventSnapshot, FieldValue};
+pub use event::{EventLogSnapshot, EventSnapshot, FieldValue, MAX_EVENTS};
 pub use metrics::{BucketSnapshot, Counter, CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
 pub use span::{SpanForestSnapshot, SpanGuard, SpanNode};
+pub use trace::{trace_id_for_query, TraceContext};
+
+/// Counter bumped when the bounded event ring evicts an event to make
+/// room (overflow would otherwise be silent).
+pub const EVENTS_DROPPED_COUNTER: &str = "telemetry.events_dropped";
 
 /// The shared recording backend behind a [`TelemetrySink::Recording`]
 /// sink. Cheap to clone via `Arc`; all interior state is thread-safe.
@@ -61,6 +68,15 @@ pub struct Recorder {
     events: event::EventLog,
     /// Current query id + 1 (0 = outside any query).
     current_query: AtomicU64,
+}
+
+impl Recorder {
+    fn query(&self) -> Option<u64> {
+        match self.current_query.load(Ordering::Relaxed) {
+            0 => None,
+            id_plus_one => Some(id_plus_one - 1),
+        }
+    }
 }
 
 /// Entry point for all instrumentation. `Noop` (the default) makes
@@ -125,23 +141,38 @@ impl TelemetrySink {
     }
 
     /// Opens a span; it closes (and records) when the guard drops.
-    /// Spans opened while another span's guard is live nest under it.
+    /// Spans opened while another span's guard is live nest under it;
+    /// a root span's trace id derives deterministically from the query
+    /// set by [`Self::begin_query`].
     #[must_use]
     pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_child_of(&TraceContext::NONE, name)
+    }
+
+    /// Opens a span explicitly parented under `parent` — the
+    /// cross-node form of [`Self::span`], used when work hops to
+    /// another simulated node and the ambient stack can't be trusted
+    /// to attribute it. With an inactive `parent` this behaves exactly
+    /// like [`Self::span`].
+    #[must_use]
+    pub fn span_child_of(&self, parent: &TraceContext, name: &str) -> SpanGuard {
         match self.recorder() {
-            Some(r) => r.spans.enter(Arc::clone(r), name),
+            Some(r) => r.spans.enter(Arc::clone(r), name, *parent, r.query()),
             None => SpanGuard::noop(),
         }
     }
 
-    /// Appends a structured event to the bounded per-query log.
+    /// Appends a structured event to the bounded per-query log, stamped
+    /// with the innermost open span's trace context. Ring overflow bumps
+    /// [`EVENTS_DROPPED_COUNTER`].
     pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
         if let Some(r) = self.recorder() {
-            let query = match r.current_query.load(Ordering::Relaxed) {
-                0 => None,
-                id_plus_one => Some(id_plus_one - 1),
-            };
-            r.events.push(name, query, fields);
+            let ctx = r.spans.current_ctx();
+            if r.events.push(name, r.query(), ctx, fields) {
+                r.metrics
+                    .counter(EVENTS_DROPPED_COUNTER)
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 

@@ -1,29 +1,48 @@
-//! Nested timing spans with wall-clock and simulated-cost attribution.
+//! Nested timing spans with wall-clock and simulated-cost attribution
+//! plus deterministic distributed-trace identity.
 //!
 //! [`SpanGuard`]s form a per-recorder stack: a span opened while another
 //! guard is live becomes its child, so instrumented layers compose into
 //! a tree (`bench.query` → `core.pipeline.process` →
 //! `query.executor.scan` → `storage.node.scan`) without any explicit
-//! plumbing between them. Completed root trees are kept up to a bound;
-//! beyond it only a drop counter grows, keeping memory flat over long
-//! runs.
+//! plumbing between them. Where work crosses a simulated node boundary
+//! (executor → storage node, coordinator → constituent system), the
+//! callee opens its span with an explicit [`TraceContext`] parent via
+//! [`crate::TelemetrySink::span_child_of`], so the tree stays coherent
+//! even when the ambient stack would mis-attribute it. Every completed
+//! span carries `trace_id` / `span_id` / `parent_span_id` (deterministic;
+//! no wall clock or RNG) and free-form tags for per-hop attribution
+//! (which storage node, which branch the agent took). Completed root
+//! trees are kept up to a bound; beyond it only a drop counter grows,
+//! keeping memory flat over long runs.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::event::FieldValue;
+use crate::trace::{trace_id_for_query, TraceContext};
 use crate::Recorder;
 
 /// Maximum completed root spans retained in a snapshot.
 const MAX_ROOT_SPANS: usize = 128;
+
+/// Salt mixed into synthesized trace ids for spans opened outside any
+/// query (keeps them disjoint from real query trace ids).
+const ORPHAN_TRACE_SALT: u64 = 0x5ea0_7e1e_0000_0000;
 
 #[derive(Debug)]
 struct OpenSpan {
     name: String,
     started: Instant,
     sim_us: f64,
+    trace_id: u64,
+    span_id: u64,
+    parent_span_id: u64,
+    tags: Vec<(String, FieldValue)>,
     children: Vec<SpanNode>,
 }
 
@@ -35,54 +54,132 @@ struct SpanState {
 }
 
 /// Span backend owned by a [`Recorder`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct SpanRecorder {
     state: Mutex<SpanState>,
+    next_span_id: AtomicU64,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self {
+            state: Mutex::default(),
+            next_span_id: AtomicU64::new(1),
+        }
+    }
 }
 
 impl SpanRecorder {
-    pub(crate) fn enter(&self, recorder: Arc<Recorder>, name: &str) -> SpanGuard {
+    /// Opens a span. `parent` wins when active; otherwise the span nests
+    /// under the top of the ambient stack; otherwise it becomes a root
+    /// whose trace id derives from `query` (or a salted span id when no
+    /// query is active).
+    pub(crate) fn enter(
+        &self,
+        recorder: Arc<Recorder>,
+        name: &str,
+        parent: TraceContext,
+        query: Option<u64>,
+    ) -> SpanGuard {
+        let span_id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.lock();
+        let (trace_id, parent_span_id) = if parent.is_active() {
+            (parent.trace_id, parent.span_id)
+        } else {
+            match state.open.last() {
+                Some(top) => (top.trace_id, top.span_id),
+                None => match query {
+                    Some(q) => (trace_id_for_query(q), 0),
+                    None => (trace_id_for_query(ORPHAN_TRACE_SALT ^ span_id), 0),
+                },
+            }
+        };
         state.open.push(OpenSpan {
             name: name.to_string(),
             started: Instant::now(),
             sim_us: 0.0,
+            trace_id,
+            span_id,
+            parent_span_id,
+            tags: Vec::new(),
             children: Vec::new(),
         });
         SpanGuard {
             recorder: Some(recorder),
-            depth: state.open.len(),
+            ctx: TraceContext { trace_id, span_id },
         }
     }
 
-    fn add_sim_us(&self, depth: usize, us: f64) {
+    fn add_sim_us(&self, span_id: u64, us: f64) {
         let mut state = self.state.lock();
-        if let Some(span) = state.open.get_mut(depth - 1) {
+        if let Some(span) = state.open.iter_mut().rev().find(|s| s.span_id == span_id) {
             span.sim_us += us;
         }
     }
 
-    /// Closes the span opened at `depth`, folding any still-open
-    /// descendants (guards leaked or dropped out of order) into it.
-    fn exit(&self, depth: usize) {
+    fn add_tag(&self, span_id: u64, key: &str, value: FieldValue) {
         let mut state = self.state.lock();
-        while state.open.len() >= depth {
-            let open = state.open.pop().expect("span stack underflow");
+        if let Some(span) = state.open.iter_mut().rev().find(|s| s.span_id == span_id) {
+            span.tags.push((key.to_string(), value));
+        }
+    }
+
+    /// The context of the innermost open span, for stamping events.
+    pub(crate) fn current_ctx(&self) -> TraceContext {
+        let state = self.state.lock();
+        state
+            .open
+            .last()
+            .map_or(TraceContext::NONE, |top| TraceContext {
+                trace_id: top.trace_id,
+                span_id: top.span_id,
+            })
+    }
+
+    /// Closes the span with id `span_id`, folding any still-open
+    /// descendants above it (guards leaked or dropped out of order)
+    /// into their parents first. A stale guard (id already gone) is a
+    /// no-op.
+    fn exit(&self, span_id: u64) {
+        let mut state = self.state.lock();
+        if !state.open.iter().any(|s| s.span_id == span_id) {
+            return;
+        }
+        loop {
+            let open = state.open.pop().expect("span present by check above");
+            let done = open.span_id == span_id;
             let node = SpanNode {
                 name: open.name,
+                trace_id: open.trace_id,
+                span_id: open.span_id,
+                parent_span_id: open.parent_span_id,
                 wall_us: open.started.elapsed().as_secs_f64() * 1e6,
                 sim_us: open.sim_us,
+                tags: open.tags,
                 children: open.children,
             };
-            match state.open.last_mut() {
-                Some(parent) => parent.children.push(node),
-                None => {
-                    if state.roots.len() < MAX_ROOT_SPANS {
-                        state.roots.push(node);
-                    } else {
-                        state.dropped_roots += 1;
+            // Prefer the declared parent if it is still open (explicit
+            // child_of spans); otherwise the nearest enclosing span;
+            // otherwise the node is a completed root.
+            let declared = state
+                .open
+                .iter()
+                .rposition(|s| s.span_id == node.parent_span_id);
+            match declared {
+                Some(i) => state.open[i].children.push(node),
+                None => match state.open.last_mut() {
+                    Some(top) => top.children.push(node),
+                    None => {
+                        if state.roots.len() < MAX_ROOT_SPANS {
+                            state.roots.push(node);
+                        } else {
+                            state.dropped_roots += 1;
+                        }
                     }
-                }
+                },
+            }
+            if done {
+                break;
             }
         }
     }
@@ -98,26 +195,42 @@ impl SpanRecorder {
 }
 
 /// RAII guard for one span; records on drop. Obtained from
-/// [`crate::TelemetrySink::span`].
+/// [`crate::TelemetrySink::span`] or
+/// [`crate::TelemetrySink::span_child_of`].
 #[derive(Debug)]
 pub struct SpanGuard {
     recorder: Option<Arc<Recorder>>,
-    depth: usize,
+    ctx: TraceContext,
 }
 
 impl SpanGuard {
     pub(crate) fn noop() -> Self {
         Self {
             recorder: None,
-            depth: 0,
+            ctx: TraceContext::NONE,
         }
+    }
+
+    /// This span's identity, for handing to child work on other
+    /// simulated nodes ([`crate::TelemetrySink::span_child_of`]).
+    /// Inactive (all zeros) for a noop guard.
+    pub fn ctx(&self) -> TraceContext {
+        self.ctx
     }
 
     /// Attributes simulated cost (microseconds of modelled latency) to
     /// this span.
     pub fn record_sim_us(&self, us: f64) {
         if let Some(r) = &self.recorder {
-            r.spans.add_sim_us(self.depth, us);
+            r.spans.add_sim_us(self.ctx.span_id, us);
+        }
+    }
+
+    /// Attaches a key/value tag (node id, branch taken, …) to this
+    /// span.
+    pub fn tag(&self, key: &str, value: impl Into<FieldValue>) {
+        if let Some(r) = &self.recorder {
+            r.spans.add_tag(self.ctx.span_id, key, value.into());
         }
     }
 }
@@ -125,7 +238,7 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(r) = self.recorder.take() {
-            r.spans.exit(self.depth);
+            r.spans.exit(self.ctx.span_id);
         }
     }
 }
@@ -134,11 +247,19 @@ impl Drop for SpanGuard {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpanNode {
     pub name: String,
+    /// Trace this span belongs to (deterministic per query).
+    pub trace_id: u64,
+    /// Unique id within the recorder.
+    pub span_id: u64,
+    /// Id of the parent span (0 = root of its trace).
+    pub parent_span_id: u64,
     /// Measured wall-clock duration of the span.
     pub wall_us: f64,
     /// Simulated cost attributed via [`SpanGuard::record_sim_us`]
     /// (excludes children's attributions).
     pub sim_us: f64,
+    /// Free-form attribution tags (`node`, `branch`, …).
+    pub tags: Vec<(String, FieldValue)>,
     pub children: Vec<SpanNode>,
 }
 
@@ -151,6 +272,20 @@ impl SpanNode {
                 .iter()
                 .map(SpanNode::sim_us_total)
                 .sum::<f64>()
+    }
+
+    /// Tag value by key, if present.
+    pub fn tag(&self, key: &str) -> Option<&FieldValue> {
+        self.tags.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Depth-first search for the first descendant (or self) with this
+    /// name.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
     }
 }
 
@@ -168,6 +303,7 @@ pub struct SpanForestSnapshot {
 
 #[cfg(test)]
 mod tests {
+    use crate::trace::trace_id_for_query;
     use crate::TelemetrySink;
 
     #[test]
@@ -225,5 +361,83 @@ mod tests {
         assert_eq!(snap.spans.roots.len(), 1);
         assert_eq!(snap.spans.roots[0].children[0].name, "inner");
         assert_eq!(snap.spans.open_spans, 0);
+    }
+
+    #[test]
+    fn trace_ids_derive_from_the_active_query() {
+        let sink = TelemetrySink::recording();
+        sink.begin_query(42);
+        {
+            let root = sink.span("bench.query");
+            let child = sink.span("child");
+            assert_eq!(root.ctx().trace_id, trace_id_for_query(42));
+            assert_eq!(child.ctx().trace_id, root.ctx().trace_id);
+            assert_ne!(child.ctx().span_id, root.ctx().span_id);
+        }
+        let snap = sink.snapshot().unwrap();
+        let root = &snap.spans.roots[0];
+        assert_eq!(root.trace_id, trace_id_for_query(42));
+        assert_eq!(root.parent_span_id, 0);
+        assert_eq!(root.children[0].parent_span_id, root.span_id);
+        assert_eq!(root.children[0].trace_id, root.trace_id);
+    }
+
+    #[test]
+    fn explicit_child_of_overrides_the_ambient_stack() {
+        let sink = TelemetrySink::recording();
+        {
+            let parent = sink.span("scatter");
+            let parent_ctx = parent.ctx();
+            {
+                // An intervening span is live, but the child declares
+                // scatter as its parent — like a cross-node RPC would.
+                let _other = sink.span("unrelated");
+                let child = sink.span_child_of(&parent_ctx, "node.work");
+                assert_eq!(child.ctx().trace_id, parent_ctx.trace_id);
+            }
+        }
+        let snap = sink.snapshot().unwrap();
+        let parent = &snap.spans.roots[0];
+        assert_eq!(parent.name, "scatter");
+        let node = parent.find("node.work").expect("child under scatter");
+        assert_eq!(node.parent_span_id, parent.span_id);
+        // "unrelated" must not have adopted node.work.
+        let unrelated = parent.find("unrelated").unwrap();
+        assert!(unrelated.children.is_empty());
+    }
+
+    #[test]
+    fn tags_survive_into_the_snapshot() {
+        let sink = TelemetrySink::recording();
+        {
+            let s = sink.span("storage.node.scan");
+            s.tag("node", 3u64);
+            s.tag("branch", "exact");
+        }
+        let snap = sink.snapshot().unwrap();
+        let node = &snap.spans.roots[0];
+        assert_eq!(node.tag("node"), Some(&crate::FieldValue::U64(3)));
+        assert_eq!(
+            node.tag("branch"),
+            Some(&crate::FieldValue::Str("exact".into()))
+        );
+    }
+
+    #[test]
+    fn orphan_spans_get_distinct_nonzero_trace_ids() {
+        let sink = TelemetrySink::recording();
+        let a_id;
+        let b_id;
+        {
+            let a = sink.span("a");
+            a_id = a.ctx().trace_id;
+        }
+        {
+            let b = sink.span("b");
+            b_id = b.ctx().trace_id;
+        }
+        assert_ne!(a_id, 0);
+        assert_ne!(b_id, 0);
+        assert_ne!(a_id, b_id);
     }
 }

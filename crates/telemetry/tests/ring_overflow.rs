@@ -1,0 +1,48 @@
+//! Sink-level event-ring overflow: the oldest events are evicted in
+//! order and every eviction is surfaced through the
+//! `telemetry.events_dropped` counter (and thus through metrics export).
+
+use sea_telemetry::{export, TelemetrySink, EVENTS_DROPPED_COUNTER, MAX_EVENTS};
+
+#[test]
+fn overflow_evicts_oldest_and_bumps_the_dropped_counter() {
+    let sink = TelemetrySink::recording();
+    let extra = 7u64;
+    for i in 0..(MAX_EVENTS as u64 + extra) {
+        sink.event("e", &[("i", i.into())]);
+    }
+    let snap = sink.snapshot().unwrap();
+
+    // Exactly the first `extra` events were evicted, oldest first: the
+    // retained window starts at seq == extra and stays contiguous.
+    assert_eq!(snap.events.events.len(), MAX_EVENTS);
+    assert_eq!(snap.events.evicted, extra);
+    assert_eq!(snap.events.events[0].seq, extra);
+    for (offset, e) in snap.events.events.iter().enumerate() {
+        assert_eq!(e.seq, extra + offset as u64, "ring stays in order");
+    }
+
+    // Every eviction is counted, and per-name totals still see all pushes.
+    assert_eq!(snap.counter(EVENTS_DROPPED_COUNTER), extra);
+    assert_eq!(snap.event_count("e"), MAX_EVENTS as u64 + extra);
+
+    // The drop counter rides along into the Prometheus exposition, so
+    // overflow is visible to scrapers, not just to snapshot readers.
+    let prom = export::prometheus_text(&snap);
+    assert!(
+        prom.contains(&format!("telemetry_events_dropped {extra}")),
+        "dropped counter exported:\n{prom}"
+    );
+}
+
+#[test]
+fn below_capacity_nothing_drops() {
+    let sink = TelemetrySink::recording();
+    for i in 0..64u64 {
+        sink.event("e", &[("i", i.into())]);
+    }
+    let snap = sink.snapshot().unwrap();
+    assert_eq!(snap.events.evicted, 0);
+    assert_eq!(snap.counter(EVENTS_DROPPED_COUNTER), 0);
+    assert_eq!(snap.events.events.len(), 64);
+}
