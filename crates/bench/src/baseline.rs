@@ -16,7 +16,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::experiments::common::{count_workload, uniform_cluster};
 use crate::experiments::run_by_id_with;
+use sea_query::{ExecPool, Executor};
 use sea_telemetry::TelemetrySink;
 
 /// Version of the on-disk baseline layout. Bump on any change to the
@@ -100,6 +102,42 @@ impl std::fmt::Display for Regression {
     }
 }
 
+/// Measures host wall-clock speedup of [`Executor::execute_batch`] over
+/// a sequential per-query loop on an E1-style COUNT workload.
+///
+/// The answers and simulated costs are identical by the executor's
+/// determinism contract — only host wall-clock differs — so this is
+/// recorded as a trend metric (`gate: false`): it depends on the
+/// machine's core count and load, and a single-core runner legitimately
+/// reports ~1.0.
+///
+/// # Errors
+///
+/// Workload-generation or execution errors.
+pub fn measure_batch_speedup() -> sea_common::Result<f64> {
+    let cluster = uniform_cluster(200_000, 8, 7)?;
+    let mut gen = count_workload(5.0, 15.0, 11)?;
+    let queries: Vec<_> = (0..48).map(|_| gen.next_query()).collect();
+
+    let sequential = Executor::new(&cluster).with_pool(ExecPool::sequential());
+    // Warm caches so neither side pays first-touch costs.
+    sequential.execute_direct("t", &queries[0])?;
+    let started = std::time::Instant::now();
+    for q in &queries {
+        sequential.execute_direct("t", q)?;
+    }
+    let seq_s = started.elapsed().as_secs_f64();
+
+    let parallel = Executor::new(&cluster).with_pool(ExecPool::from_env());
+    let started = std::time::Instant::now();
+    for r in parallel.execute_batch("t", &queries) {
+        r?;
+    }
+    let par_s = started.elapsed().as_secs_f64();
+
+    Ok(seq_s / par_s.max(1e-9))
+}
+
 /// Runs [`BASELINE_EXPERIMENTS`] under recording sinks and extracts
 /// headline metrics from each telemetry snapshot.
 ///
@@ -151,6 +189,14 @@ pub fn collect() -> sea_common::Result<BenchBaseline> {
                 value: predicted / (predicted + fallback),
                 higher_is_better: true,
                 gate: true,
+            });
+        }
+        if id == "e1" {
+            metrics.push(HeadlineMetric {
+                name: "batch_wall_speedup".to_string(),
+                value: measure_batch_speedup()?,
+                higher_is_better: true,
+                gate: false,
             });
         }
         experiments.push(ExperimentBaseline {

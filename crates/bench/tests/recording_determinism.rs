@@ -7,7 +7,7 @@ use sea_telemetry::TelemetrySink;
 
 #[test]
 fn recording_leaves_result_tables_bit_identical() {
-    for id in ["e6", "e14", "e16"] {
+    for id in ["e5", "e6", "e14", "e16"] {
         let quiet = run_by_id_with(id, &TelemetrySink::noop()).unwrap();
         let sink = TelemetrySink::recording();
         let recorded = run_by_id_with(id, &sink).unwrap();

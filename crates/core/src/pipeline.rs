@@ -209,6 +209,132 @@ impl AgentPipeline {
             source: AnswerSource::Exact,
         })
     }
+
+    /// Processes a batch of queries, fanning the exact-execution
+    /// fallbacks out across the executor's [`sea_query::ExecPool`] — the
+    /// shape batched analytics workloads actually have, and where the
+    /// pipeline's wall-clock is actually spent (predictions are free).
+    ///
+    /// Semantics relative to a sequential [`AgentPipeline::process`]
+    /// loop: predict-vs-exact decisions are made **sequentially in query
+    /// order against the batch-start model state** (audit cadence
+    /// included), then all fallbacks execute concurrently, then their
+    /// answers train the agent sequentially in query order. Training is
+    /// thus deferred to the batch boundary: a query in this batch never
+    /// sees a model improved by an earlier query of the same batch.
+    /// Every decision, event, and answer is deterministic and
+    /// independent of the pool's thread count.
+    ///
+    /// Each returned entry is exactly aligned with `queries`; failed
+    /// exact executions surface as errors in their slot and do not train
+    /// the agent.
+    pub fn process_batch(
+        &mut self,
+        executor: &Executor<'_>,
+        queries: &[AnalyticalQuery],
+    ) -> Vec<Result<ProcessOutcome>> {
+        let batch_span = self.telemetry.span("core.pipeline.batch");
+        batch_span.tag("queries", queries.len());
+        let ctx = batch_span.ctx();
+
+        // Phase 1 — sequential decisions in query order (deterministic
+        // event stream, same audit cadence as `process`).
+        enum Planned {
+            Predicted(ProcessOutcome),
+            Exact,
+        }
+        let mut plan: Vec<Planned> = Vec::with_capacity(queries.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, query) in queries.iter().enumerate() {
+            let mut fallback_reason = "untrained";
+            let mut fallback_est_error = -1.0;
+            let mut planned = None;
+            if let Ok(pred) = self.agent.predict(query) {
+                let audit_due = self.refresh_every > 0
+                    && self.predictions_since_audit + 1 >= self.refresh_every;
+                if pred.estimated_error <= self.error_threshold && !audit_due {
+                    self.predictions_since_audit += 1;
+                    self.telemetry.event(
+                        "agent.predicted",
+                        &[
+                            ("est_error", pred.estimated_error.into()),
+                            ("threshold", self.error_threshold.into()),
+                            ("quantum", pred.quantum.into()),
+                            ("quantum_training", pred.quantum_training.into()),
+                        ],
+                    );
+                    planned = Some(Planned::Predicted(ProcessOutcome {
+                        answer: pred.answer,
+                        cost: CostReport::zero(),
+                        source: AnswerSource::Predicted {
+                            estimated_error: pred.estimated_error,
+                        },
+                    }));
+                } else {
+                    fallback_reason = if audit_due {
+                        "audit_due"
+                    } else {
+                        "error_above_threshold"
+                    };
+                    fallback_est_error = pred.estimated_error;
+                }
+            }
+            plan.push(planned.unwrap_or_else(|| {
+                self.telemetry.event(
+                    "agent.fallback",
+                    &[
+                        ("reason", fallback_reason.into()),
+                        ("est_error", fallback_est_error.into()),
+                        ("threshold", self.error_threshold.into()),
+                    ],
+                );
+                self.predictions_since_audit = 0;
+                pending.push(i);
+                Planned::Exact
+            }));
+        }
+
+        // Phase 2 — concurrent exact execution of the fallbacks. Each
+        // query's executor span tree attaches under the batch span from
+        // its worker thread.
+        let mode = self.mode;
+        let table = self.table.clone();
+        let inner = executor
+            .clone()
+            .with_pool(sea_query::ExecPool::sequential());
+        let exact_outcomes = executor.pool().run(pending.len(), |j| {
+            let query = &queries[pending[j]];
+            match mode {
+                ExecMode::Bdas => inner.execute_bdas_traced(&table, query, &ctx),
+                ExecMode::Direct => inner.execute_direct_traced(&table, query, &ctx),
+            }
+        });
+
+        // Phase 3 — sequential training in query order.
+        let mut exact_iter = exact_outcomes.into_iter();
+        plan.into_iter()
+            .zip(queries)
+            .map(|(planned, query)| match planned {
+                Planned::Predicted(outcome) => Ok(outcome),
+                Planned::Exact => {
+                    let outcome = exact_iter.next().expect("one result per pending query")?;
+                    self.agent.train(query, &outcome.answer)?;
+                    self.telemetry.event(
+                        "agent.trained",
+                        &[(
+                            "training_queries",
+                            self.agent.stats().training_queries.into(),
+                        )],
+                    );
+                    Ok(ProcessOutcome {
+                        answer: outcome.answer,
+                        cost: outcome.cost,
+                        source: AnswerSource::Exact,
+                    })
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +470,97 @@ mod tests {
         assert!(
             predicted.find("storage.node.scan").is_none(),
             "predictions touch no base data"
+        );
+    }
+
+    #[test]
+    fn batch_processing_is_deterministic_across_pool_sizes() {
+        use sea_query::ExecPool;
+        let c = cluster();
+        let queries: Vec<AnalyticalQuery> = (0..60)
+            .map(|i| query(50.0 + (i % 3) as f64, 50.0, 3.0 + (i % 20) as f64 * 0.3))
+            .collect();
+        let run = |threads: usize| {
+            let exec = Executor::new(&c).with_pool(ExecPool::new(threads));
+            let mut pipe =
+                AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct).unwrap();
+            let outcomes = pipe.process_batch(&exec, &queries);
+            (
+                outcomes
+                    .into_iter()
+                    .map(|r| format!("{r:?}"))
+                    .collect::<Vec<_>>(),
+                pipe.agent().stats().training_queries,
+            )
+        };
+        let (base, trained) = run(1);
+        assert!(trained > 0, "fresh pipeline trained on the batch");
+        for threads in [2, 8] {
+            assert_eq!(run(threads), (base.clone(), trained), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_processing_between_training_rounds() {
+        // With training deferred to the batch boundary, a batch whose
+        // decisions don't depend on intra-batch learning (here: a warmed
+        // pipeline with audits disabled) must match the sequential loop
+        // outcome for outcome.
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let queries: Vec<AnalyticalQuery> = (0..30)
+            .map(|i| query(50.0, 50.0, 3.0 + (i % 10) as f64 * 0.3))
+            .collect();
+        let warmed = || {
+            let mut pipe =
+                AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct)
+                    .unwrap()
+                    .with_refresh_every(0);
+            for q in &queries {
+                pipe.process(&exec, q).unwrap();
+            }
+            pipe
+        };
+        let mut seq = warmed();
+        let mut batched = warmed();
+        let sequential: Vec<ProcessOutcome> = queries
+            .iter()
+            .map(|q| seq.process(&exec, q).unwrap())
+            .collect();
+        let batch: Vec<ProcessOutcome> = batched
+            .process_batch(&exec, &queries)
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(batch, sequential);
+        assert!(
+            batch
+                .iter()
+                .any(|o| matches!(o.source, AnswerSource::Predicted { .. })),
+            "warmed pipeline predicts"
+        );
+    }
+
+    #[test]
+    fn batch_errors_stay_in_their_slot_and_skip_training() {
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let mut pipe =
+            AgentPipeline::new(2, AgentConfig::default(), "t", 0.15, ExecMode::Direct).unwrap();
+        // Median over an empty region errors; its neighbours must not.
+        let bad = AnalyticalQuery::new(
+            Region::Range(Rect::centered(&Point::new(vec![5000.0, 5000.0]), &[1.0, 1.0]).unwrap()),
+            AggregateKind::Median { dim: 0 },
+        );
+        let queries = vec![query(50.0, 50.0, 4.0), bad, query(52.0, 50.0, 4.0)];
+        let outcomes = pipe.process_batch(&exec, &queries);
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[1].is_err());
+        assert!(outcomes[2].is_ok());
+        assert_eq!(
+            pipe.agent().stats().training_queries,
+            2,
+            "the failed query must not train the agent"
         );
     }
 

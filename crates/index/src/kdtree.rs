@@ -220,17 +220,18 @@ impl KdTree {
         let n = &self.nodes[idx];
         let p = &self.coords[n.point];
         let dist_sq: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+        let candidate = HeapEntry {
+            dist_sq,
+            id: self.ids[n.point],
+        };
         if heap.len() < k {
-            heap.push(HeapEntry {
-                dist_sq,
-                id: self.ids[n.point],
-            });
-        } else if dist_sq < heap.peek().expect("non-empty").dist_sq {
+            heap.push(candidate);
+        } else if candidate < *heap.peek().expect("non-empty") {
+            // (dist, id)-lexicographic eviction: an equidistant record
+            // with a lower id replaces the incumbent, so the reported
+            // top-k never depends on tree traversal order.
             heap.pop();
-            heap.push(HeapEntry {
-                dist_sq,
-                id: self.ids[n.point],
-            });
+            heap.push(candidate);
         }
         let sd = n.split_dim;
         let diff = q[sd] - p[sd];
@@ -240,10 +241,12 @@ impl KdTree {
             (n.right, n.left)
         };
         self.nearest_rec(near, q, k, heap);
-        // Visit the far side only if the splitting plane is closer than the
-        // current k-th best.
+        // Visit the far side only if the splitting plane is closer than
+        // (or exactly at) the current k-th best — the boundary case must
+        // recurse so an equidistant lower-id record can still win its
+        // tie.
         let worst = heap.peek().map_or(f64::INFINITY, |e| e.dist_sq);
-        if heap.len() < k || diff * diff < worst {
+        if heap.len() < k || diff * diff <= worst {
             self.nearest_rec(far, q, k, heap);
         }
     }

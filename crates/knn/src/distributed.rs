@@ -45,7 +45,15 @@ pub fn mapreduce_knn(
                 distance: dist(query, r),
             })
             .collect();
-        local.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+        // Tie-break on record id: a node's local top-k must not depend
+        // on its block storage order when distances are equal, or the
+        // merged answer becomes order-unstable.
+        local.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite")
+                .then(a.id.cmp(&b.id))
+        });
         local.truncate(k);
         meter.charge_lan(local.len() as u64 * 16);
         merged.extend(local);
@@ -197,7 +205,7 @@ impl DistributedKnnIndex {
                 order.push((rect.min_distance(query)?, node));
             }
         }
-        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
 
         let mut coord = CostMeter::new();
         let mut node_meters = Vec::new();
@@ -368,6 +376,33 @@ mod tests {
         let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
         assert!(idx.query(&q, 0, &model).is_err());
         assert!(idx.query(&bad_q, 5, &model).is_err());
+    }
+
+    #[test]
+    fn equidistant_neighbors_break_ties_by_id_not_storage_order() {
+        // Two records equidistant from the query, stored with the HIGHER
+        // id first: a distance-only stable sort would return id 10.
+        let mut c = StorageCluster::new(1, 64);
+        c.load_table(
+            "t",
+            vec![
+                Record::new(10, vec![1.0, 0.0]),
+                Record::new(5, vec![-1.0, 0.0]),
+            ],
+            Partitioning::Hash,
+        )
+        .unwrap();
+        let model = CostModel::default();
+        let q = Point::new(vec![0.0, 0.0]);
+        let mr = mapreduce_knn(&c, "t", &q, 1, &model).unwrap();
+        assert_eq!(mr.neighbors[0].id, 5, "lowest id wins the tie");
+        let idx = DistributedKnnIndex::build(&c, "t", &model).unwrap();
+        let cc = idx.query(&q, 1, &model).unwrap();
+        assert_eq!(cc.neighbors[0].id, 5);
+        // Both ids surface, deterministically ordered, at k = 2.
+        let both = mapreduce_knn(&c, "t", &q, 2, &model).unwrap();
+        let ids: Vec<_> = both.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![5, 10]);
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! The exact executor: BDAS-style and coordinator–cohort query processing.
+//!
+//! Per-node scans fan out across an [`ExecPool`]'s worker threads — the
+//! paper's P1/P4 node parallelism made real on the host, not just in the
+//! cost model. Workers do pure compute (telemetry-silent scans charging
+//! private [`CostMeter`]s); the coordinator then replays each node's
+//! telemetry in node-index order, so answers, [`CostReport`]s, and every
+//! recorded table are bit-identical to sequential execution regardless
+//! of the thread count.
 
 use sea_common::{
     AggregateKind, AnalyticalQuery, AnswerValue, BivariateStats, CostMeter, CostModel, CostReport,
-    Record, Result,
+    Record, Rect, Result,
 };
-use sea_storage::{StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
+use sea_storage::{NodeId, ScanStats, StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
 use sea_telemetry::{TelemetrySink, TraceContext};
+
+use crate::pool::ExecPool;
 
 /// The outcome of executing one analytical query: the exact answer plus
 /// the full resource bill.
@@ -22,8 +32,22 @@ pub struct QueryOutcome {
 /// aggregates (median/quantile) must ship the selected values themselves.
 #[derive(Debug, Clone)]
 enum Partial {
-    CountSum { count: u64, sum: f64, sum_sq: f64 },
-    MinMax { min: f64, max: f64 },
+    CountSum {
+        count: u64,
+        sum: f64,
+        sum_sq: f64,
+    },
+    /// Centered moments for variance: numerically robust under large
+    /// means, where the raw `sum_sq` form cancels catastrophically.
+    Moments {
+        count: u64,
+        mean: f64,
+        m2: f64,
+    },
+    MinMax {
+        min: f64,
+        max: f64,
+    },
     Bivariate(BivariateStats),
     Values(Vec<f64>),
 }
@@ -32,12 +56,21 @@ impl Partial {
     /// Bytes this partial occupies on the wire.
     fn wire_bytes(&self) -> u64 {
         match self {
-            Partial::CountSum { .. } => 24,
+            Partial::CountSum { .. } | Partial::Moments { .. } => 24,
             Partial::MinMax { .. } => 16,
             Partial::Bivariate(_) => 48,
             Partial::Values(v) => 8 * v.len() as u64,
         }
     }
+}
+
+/// What one scatter worker brings back from its node: pure data, a
+/// private cost meter, and the scan statistics the coordinator needs to
+/// replay the node's telemetry afterwards.
+struct NodeScan {
+    partial: Partial,
+    meter: CostMeter,
+    stats: ScanStats,
 }
 
 /// Stateless executor over a [`StorageCluster`].
@@ -46,17 +79,20 @@ pub struct Executor<'a> {
     cluster: &'a StorageCluster,
     cost_model: CostModel,
     telemetry: TelemetrySink,
+    pool: ExecPool,
 }
 
 impl<'a> Executor<'a> {
     /// Creates an executor using the default [`CostModel`]. The executor
     /// inherits the cluster's telemetry sink, so instrumenting the
-    /// cluster instruments the whole exact query path.
+    /// cluster instruments the whole exact query path, and shares the
+    /// process-wide [`ExecPool`] for real node parallelism.
     pub fn new(cluster: &'a StorageCluster) -> Self {
         Executor {
             cluster,
             cost_model: CostModel::default(),
             telemetry: cluster.telemetry().clone(),
+            pool: ExecPool::global(),
         }
     }
 
@@ -66,6 +102,7 @@ impl<'a> Executor<'a> {
             cluster,
             cost_model,
             telemetry: cluster.telemetry().clone(),
+            pool: ExecPool::global(),
         }
     }
 
@@ -73,6 +110,16 @@ impl<'a> Executor<'a> {
     #[must_use]
     pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
         self.telemetry = sink;
+        self
+    }
+
+    /// Overrides the worker-thread budget (defaults to the shared
+    /// [`ExecPool::global`]). Every observable output — answers, cost
+    /// reports, recorded telemetry — is identical for every budget; only
+    /// host wall-clock changes.
+    #[must_use]
+    pub fn with_pool(mut self, pool: ExecPool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -84,6 +131,11 @@ impl<'a> Executor<'a> {
     /// The executor's cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost_model
+    }
+
+    /// The executor's worker-thread budget.
+    pub fn pool(&self) -> ExecPool {
+        self.pool
     }
 
     /// Executes `query` over `table` MapReduce-style: every node is
@@ -119,43 +171,24 @@ impl<'a> Executor<'a> {
         let _exec_span = self.telemetry.span_child_of(parent, "query.executor.bdas");
         self.telemetry.incr("query.executor.bdas_queries", 1);
         query.aggregate.validate(self.cluster.dims(table)?)?;
-        let mut node_meters = Vec::with_capacity(self.cluster.num_nodes());
-        let mut partials = Vec::with_capacity(self.cluster.num_nodes());
-        {
+        let nodes: Vec<NodeId> = (0..self.cluster.num_nodes()).collect();
+        let (partials, node_meters) = {
             let scatter = self.telemetry.span("query.executor.scatter");
-            let scatter_ctx = scatter.ctx();
-            for node in 0..self.cluster.num_nodes() {
-                let node_span = self
-                    .telemetry
-                    .span_child_of(&scatter_ctx, "query.executor.node");
-                node_span.tag("node", node);
-                let mut meter = CostMeter::new();
-                meter.touch_node(BDAS_LAYERS);
-                let records =
-                    self.cluster
-                        .scan_node_traced(table, node, &node_span.ctx(), &mut meter)?;
-                let matched: Vec<&Record> = records
-                    .into_iter()
-                    .filter(|r| query.region.contains_record(r))
-                    .collect();
-                let partial = make_partial(&query.aggregate, &matched);
-                meter.charge_lan(partial.wire_bytes());
-                node_span.record_sim_us(meter.sequential_us(&self.cost_model));
-                partials.push(partial);
-                node_meters.push(meter);
-            }
+            let scans = self.scatter_scans(table, query, &nodes, BDAS_LAYERS, None)?;
+            let out = self.replay_scatter(table, &nodes, "full", &scatter.ctx(), scans);
             // Nodes run in parallel: the scatter phase lasts as long as
             // its slowest node under the cost model. The per-node spans
             // carry the per-node costs; the makespan is a tag so the
             // tree's sim rollup doesn't double-count.
             scatter.tag(
                 "sim_makespan_us",
-                node_meters
+                out.1
                     .iter()
                     .map(|m| m.sequential_us(&self.cost_model))
                     .fold(0.0, f64::max),
             );
-        }
+            out
+        };
         let gather = self.telemetry.span("query.executor.gather");
         let mut coord = CostMeter::new();
         coord.charge_cpu(partials.len() as u64);
@@ -198,52 +231,162 @@ impl<'a> Executor<'a> {
         let bbox = query.region.bounding_rect();
         let candidates = self.cluster.nodes_for_region(table, &bbox)?;
         let mut coord = CostMeter::new();
-        // One request message per engaged node.
-        let mut node_meters = Vec::with_capacity(candidates.len());
-        let mut partials = Vec::with_capacity(candidates.len());
-        {
+        let (partials, node_meters) = {
             let scatter = self.telemetry.span("query.executor.scatter");
-            let scatter_ctx = scatter.ctx();
-            for node in candidates {
-                let node_span = self
-                    .telemetry
-                    .span_child_of(&scatter_ctx, "query.executor.node");
-                node_span.tag("node", node);
+            // One request message per engaged node. The fan-out is part
+            // of the scatter phase, so its simulated time lands on the
+            // scatter span (the coordinator still pays it sequentially
+            // in the cost report).
+            for _ in &candidates {
                 coord.charge_lan(64);
+            }
+            scatter.record_sim_us(coord.sequential_us(&self.cost_model));
+            let scans =
+                self.scatter_scans(table, query, &candidates, DIRECT_LAYERS, Some(&bbox))?;
+            let out = self.replay_scatter(table, &candidates, "region", &scatter.ctx(), scans);
+            scatter.tag(
+                "sim_makespan_us",
+                out.1
+                    .iter()
+                    .map(|m| m.sequential_us(&self.cost_model))
+                    .fold(0.0, f64::max),
+            );
+            out
+        };
+        let gather = self.telemetry.span("query.executor.gather");
+        // The gather span carries only the merge work; request fan-out
+        // was already attributed to scatter above.
+        let mut merge_only = CostMeter::new();
+        merge_only.charge_cpu(partials.len() as u64);
+        coord.charge_cpu(partials.len() as u64);
+        let answer = merge_partials(&query.aggregate, partials)?;
+        let cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
+        gather.record_sim_us(merge_only.sequential_us(&self.cost_model));
+        drop(gather);
+        Ok(QueryOutcome { answer, cost })
+    }
+
+    /// Fans the per-node scans of one query out across the pool. Workers
+    /// are telemetry-silent (quiet scans, private meters); results come
+    /// back in node-index order with the first error (in node order)
+    /// propagated. `bbox` selects the access path: `None` scans every
+    /// block (BDAS), `Some` uses zone-map pruned region scans (direct).
+    fn scatter_scans(
+        &self,
+        table: &str,
+        query: &AnalyticalQuery,
+        nodes: &[NodeId],
+        layers: u64,
+        bbox: Option<&Rect>,
+    ) -> Result<Vec<NodeScan>> {
+        self.pool
+            .run(nodes.len(), |i| {
+                let node = nodes[i];
                 let mut meter = CostMeter::new();
-                meter.touch_node(DIRECT_LAYERS);
-                let in_bbox = self.cluster.scan_node_region_traced(
-                    table,
-                    node,
-                    &bbox,
-                    &node_span.ctx(),
-                    &mut meter,
-                )?;
-                let matched: Vec<&Record> = in_bbox
+                meter.touch_node(layers);
+                let (records, stats) = match bbox {
+                    None => self.cluster.scan_node_stats(table, node, &mut meter)?,
+                    Some(b) => self
+                        .cluster
+                        .scan_node_region_stats(table, node, b, &mut meter)?,
+                };
+                let matched: Vec<&Record> = records
                     .into_iter()
                     .filter(|r| query.region.contains_record(r))
                     .collect();
                 let partial = make_partial(&query.aggregate, &matched);
                 meter.charge_lan(partial.wire_bytes());
-                node_span.record_sim_us(meter.sequential_us(&self.cost_model));
-                partials.push(partial);
-                node_meters.push(meter);
-            }
-            scatter.tag(
-                "sim_makespan_us",
-                node_meters
-                    .iter()
-                    .map(|m| m.sequential_us(&self.cost_model))
-                    .fold(0.0, f64::max),
-            );
+                Ok(NodeScan {
+                    partial,
+                    meter,
+                    stats,
+                })
+            })
+            .into_iter()
+            .collect()
+    }
+
+    /// Replays the telemetry of completed scatter scans in node-index
+    /// order on the calling thread: one `query.executor.node` span per
+    /// node (under `scatter_ctx`) wrapping the replayed
+    /// `storage.node.scan` span, counters, and event. Because this runs
+    /// single-threaded in a fixed order, the recorded tables — span
+    /// ids, event sequence, counter totals — are bit-identical to what
+    /// the old sequential loop produced, for every pool size.
+    fn replay_scatter(
+        &self,
+        table: &str,
+        nodes: &[NodeId],
+        kind: &str,
+        scatter_ctx: &TraceContext,
+        scans: Vec<NodeScan>,
+    ) -> (Vec<Partial>, Vec<CostMeter>) {
+        let mut partials = Vec::with_capacity(scans.len());
+        let mut meters = Vec::with_capacity(scans.len());
+        for (node, scan) in nodes.iter().zip(scans) {
+            let node_span = self
+                .telemetry
+                .span_child_of(scatter_ctx, "query.executor.node");
+            node_span.tag("node", *node);
+            self.cluster
+                .record_scan(table, *node, kind, &scan.stats, &node_span.ctx());
+            node_span.record_sim_us(scan.meter.sequential_us(&self.cost_model));
+            partials.push(scan.partial);
+            meters.push(scan.meter);
         }
-        let gather = self.telemetry.span("query.executor.gather");
-        coord.charge_cpu(partials.len() as u64);
-        let answer = merge_partials(&query.aggregate, partials)?;
-        let cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
-        gather.record_sim_us(coord.sequential_us(&self.cost_model));
-        drop(gather);
-        Ok(QueryOutcome { answer, cost })
+        (partials, meters)
+    }
+
+    /// Executes many queries concurrently in the direct regime, fanning
+    /// whole queries out across the pool — the shape batched analytics
+    /// workloads (E1/E4/E7) actually have. Results come back in query
+    /// order, each exactly what [`Executor::execute_direct`] would have
+    /// returned. Per-query node scans run inline on the query's worker
+    /// (a nested fan-out would oversubscribe the host).
+    pub fn execute_batch(
+        &self,
+        table: &str,
+        queries: &[AnalyticalQuery],
+    ) -> Vec<Result<QueryOutcome>> {
+        self.execute_batch_traced(table, queries, &TraceContext::NONE)
+    }
+
+    /// [`Executor::execute_batch`] with an explicit trace parent: each
+    /// query's span tree attaches under `parent` even though it is built
+    /// on a worker thread. Note that with a recording sink, span ids and
+    /// event interleavings across queries depend on scheduling — batch
+    /// telemetry is coherent per query but not bit-reproducible across
+    /// runs (single-query execution is).
+    pub fn execute_batch_traced(
+        &self,
+        table: &str,
+        queries: &[AnalyticalQuery],
+        parent: &TraceContext,
+    ) -> Vec<Result<QueryOutcome>> {
+        let batch_span = self.telemetry.span_child_of(parent, "query.executor.batch");
+        batch_span.tag("queries", queries.len());
+        let ctx = batch_span.ctx();
+        let inner = self.clone().with_pool(ExecPool::sequential());
+        self.pool.run(queries.len(), |i| {
+            inner.execute_direct_traced(table, &queries[i], &ctx)
+        })
+    }
+
+    /// [`Executor::execute_batch`] in the BDAS regime.
+    pub fn execute_batch_bdas(
+        &self,
+        table: &str,
+        queries: &[AnalyticalQuery],
+    ) -> Vec<Result<QueryOutcome>> {
+        let batch_span = self
+            .telemetry
+            .span_child_of(&TraceContext::NONE, "query.executor.batch");
+        batch_span.tag("queries", queries.len());
+        let ctx = batch_span.ctx();
+        let inner = self.clone().with_pool(ExecPool::sequential());
+        self.pool.run(queries.len(), |i| {
+            inner.execute_bdas_traced(table, &queries[i], &ctx)
+        })
     }
 }
 
@@ -254,9 +397,7 @@ fn make_partial(agg: &AggregateKind, matched: &[&Record]) -> Partial {
             sum: 0.0,
             sum_sq: 0.0,
         },
-        AggregateKind::Sum { dim }
-        | AggregateKind::Mean { dim }
-        | AggregateKind::Variance { dim } => {
+        AggregateKind::Sum { dim } | AggregateKind::Mean { dim } => {
             let mut sum = 0.0;
             let mut sum_sq = 0.0;
             for r in matched {
@@ -269,6 +410,22 @@ fn make_partial(agg: &AggregateKind, matched: &[&Record]) -> Partial {
                 sum,
                 sum_sq,
             }
+        }
+        AggregateKind::Variance { dim } => {
+            // Welford's online update: raw sum-of-squares accumulation
+            // loses the variance to cancellation once |mean| dwarfs the
+            // spread.
+            let mut count = 0u64;
+            let mut mean = 0.0;
+            let mut m2 = 0.0;
+            for r in matched {
+                let v = r.value(dim);
+                count += 1;
+                let delta = v - mean;
+                mean += delta / count as f64;
+                m2 += delta * (v - mean);
+            }
+            Partial::Moments { count, mean, m2 }
         }
         AggregateKind::Min { dim } | AggregateKind::Max { dim } => {
             let mut min = f64::INFINITY;
@@ -312,19 +469,39 @@ fn merge_partials(agg: &AggregateKind, partials: Vec<Partial>) -> Result<AnswerV
             Ok(AnswerValue::Scalar(s / n as f64))
         }
         AggregateKind::Variance { .. } => {
-            let n: u64 = partials.iter().map(count_of).sum();
-            if n == 0 {
+            // Chan et al.'s pairwise merge of per-node centered moments.
+            // Legacy (count, sum, sum_sq) partials are converted to
+            // moments first; the final clamp guards the residual
+            // rounding that can push a near-zero variance negative.
+            let mut count = 0u64;
+            let mut mean = 0.0;
+            let mut m2 = 0.0;
+            let mut fold = |nb: u64, mb: f64, m2b: f64| {
+                if nb == 0 {
+                    return;
+                }
+                let na = count as f64;
+                let nbf = nb as f64;
+                let total = na + nbf;
+                let delta = mb - mean;
+                mean += delta * nbf / total;
+                m2 += m2b + delta * delta * na * nbf / total;
+                count += nb;
+            };
+            for p in &partials {
+                match p {
+                    Partial::Moments { count, mean, m2 } => fold(*count, *mean, *m2),
+                    Partial::CountSum { count, sum, sum_sq } if *count > 0 => {
+                        let mb = sum / *count as f64;
+                        fold(*count, mb, (sum_sq - sum * mb).max(0.0));
+                    }
+                    _ => {}
+                }
+            }
+            if count == 0 {
                 return Err(SeaError::Empty("variance over empty subspace".into()));
             }
-            let s: f64 = partials.iter().map(sum_of).sum();
-            let sq: f64 = partials
-                .iter()
-                .map(|p| match p {
-                    Partial::CountSum { sum_sq, .. } => *sum_sq,
-                    _ => 0.0,
-                })
-                .sum();
-            Ok(AnswerValue::Scalar(sq / n as f64 - (s / n as f64).powi(2)))
+            Ok(AnswerValue::Scalar((m2 / count as f64).max(0.0)))
         }
         AggregateKind::Min { .. } => {
             let m = partials
@@ -405,7 +582,9 @@ fn merge_quantile(partials: Vec<Partial>, q: f64) -> Result<AnswerValue> {
     if values.is_empty() {
         return Err(SeaError::Empty("quantile over empty subspace".into()));
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // total_cmp keeps the sort panic-free on NaN record values (they
+    // order after +inf instead of aborting the query).
+    values.sort_by(f64::total_cmp);
     let pos = q * (values.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -632,6 +811,105 @@ mod tests {
             .filter(|s| s.name == "query.executor.node")
             .collect();
         assert_eq!(nodes.len(), 1, "range pruning → one engaged node");
+    }
+
+    #[test]
+    fn merge_quantile_survives_nan_values() {
+        // NaN record values can't pass a region filter, but partials fed
+        // from other sources (or future float paths) must not abort the
+        // coordinator: total_cmp sorts NaN after +inf instead of
+        // panicking mid-merge.
+        let partials = vec![
+            Partial::Values(vec![2.0, f64::NAN]),
+            Partial::Values(vec![1.0, 3.0]),
+        ];
+        let got = merge_quantile(partials, 0.5).unwrap();
+        assert_eq!(got, AnswerValue::Scalar(2.5), "median of finite prefix");
+        let all_nan = vec![Partial::Values(vec![f64::NAN, f64::NAN])];
+        // Degenerate input: still no panic (the answer is NaN-poisoned,
+        // which is honest).
+        let _ = merge_quantile(all_nan, 0.5).unwrap();
+    }
+
+    #[test]
+    fn distributed_variance_is_robust_under_large_means() {
+        // dim-1 values sit at 1e9 + i%5: the raw sq/n − (s/n)² form
+        // cancels to garbage (often negative); the Welford/Chan merge
+        // must match the oracle and stay non-negative.
+        let mut c = StorageCluster::new(4, 64);
+        let records: Vec<Record> = (0..2000)
+            .map(|i| Record::new(i, vec![(i % 100) as f64, 1e9 + (i % 5) as f64]))
+            .collect();
+        c.load_table("big", records, Partitioning::Hash).unwrap();
+        let exec = Executor::new(&c);
+        let q = AnalyticalQuery::new(
+            Region::Range(Rect::new(vec![0.0, 0.0], vec![100.0, 2e9]).unwrap()),
+            AggregateKind::Variance { dim: 1 },
+        );
+        let want = oracle(&c, "big", &q);
+        let AnswerValue::Scalar(want_v) = want else {
+            panic!("scalar oracle")
+        };
+        assert!(want_v > 1.9 && want_v < 2.1, "oracle sanity: {want_v}");
+        for out in [
+            exec.execute_bdas("big", &q).unwrap(),
+            exec.execute_direct("big", &q).unwrap(),
+        ] {
+            let AnswerValue::Scalar(got) = out.answer else {
+                panic!("scalar answer")
+            };
+            assert!(got >= 0.0, "variance must be non-negative, got {got}");
+            assert!(
+                (got - want_v).abs() < 1e-6 * want_v.max(1.0),
+                "got {got}, want {want_v}"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_request_fanout_is_attributed_to_scatter_not_gather() {
+        let mut c = cluster();
+        let sink = TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        let exec = Executor::new(&c);
+        let q = count_query(vec![10.0, 0.0, 0.0], vec![60.0, 15.0, 6.0]);
+        let out = exec.execute_direct("t", &q).unwrap();
+        let snap = sink.snapshot().unwrap();
+        let root = &snap.spans.roots[0];
+        let scatter = root.find("query.executor.scatter").unwrap();
+        let gather = root.find("query.executor.gather").unwrap();
+        let model = exec.cost_model();
+        let mut request = CostMeter::new();
+        for _ in 0..4 {
+            request.charge_lan(64);
+        }
+        let mut merge = CostMeter::new();
+        merge.charge_cpu(4);
+        assert!(
+            (scatter.sim_us - request.sequential_us(model)).abs() < 1e-12,
+            "scatter carries the request fan-out: {}",
+            scatter.sim_us
+        );
+        assert!(
+            (gather.sim_us - merge.sequential_us(model)).abs() < 1e-12,
+            "gather carries only the merge: {}",
+            gather.sim_us
+        );
+        // The report still bills both coordinator phases.
+        let mut coord = request;
+        coord.charge_cpu(4);
+        let node_sim: f64 = root
+            .find("query.executor.scatter")
+            .unwrap()
+            .children
+            .iter()
+            .filter(|s| s.name == "query.executor.node")
+            .map(|s| s.sim_us)
+            .fold(0.0, f64::max);
+        assert!(
+            (out.cost.wall_us - (coord.sequential_us(model) + node_sim)).abs() < 1e-9,
+            "wall = coordinator + slowest node"
+        );
     }
 
     #[test]

@@ -20,6 +20,8 @@
 
 pub mod adhoc;
 pub mod executor;
+pub mod pool;
 
 pub use adhoc::{classify_subspace, cluster_subspace, regress_subspace, AdHocOutcome};
 pub use executor::{Executor, QueryOutcome};
+pub use pool::ExecPool;

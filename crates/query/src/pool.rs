@@ -1,0 +1,197 @@
+//! The executor's worker-thread budget for real (host) parallelism.
+//!
+//! The cost model already *simulates* node parallelism
+//! ([`sea_common::CostMeter::report_parallel`] takes the max over node
+//! meters), but until now the executor ran its per-node scans in a
+//! sequential loop, so host wall-clock scaled with cluster size instead
+//! of with the slowest node. [`ExecPool`] supplies the missing real
+//! parallelism: a thread budget sized from the host
+//! (`available_parallelism`, overridable via `SEA_EXEC_THREADS`) that
+//! [`run`](ExecPool::run) spends on scoped worker threads pulling work
+//! items off a shared atomic counter.
+//!
+//! Determinism contract: `run` returns results **in item-index order**
+//! regardless of which worker computed what or when it finished, and a
+//! single-thread pool degenerates to a plain loop on the calling thread.
+//! Callers keep all side-effecting work (telemetry, shared counters) out
+//! of the closure and on the calling thread, so every observable output
+//! is independent of the thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable overriding the global pool's thread budget
+/// (`1` forces sequential execution; unset/invalid falls back to
+/// `available_parallelism`).
+pub const EXEC_THREADS_ENV: &str = "SEA_EXEC_THREADS";
+
+/// A thread budget for fanning per-node (or per-query) work out across
+/// the host's cores. Cheap to copy: the pool spawns scoped threads per
+/// [`run`](ExecPool::run) call (joined before it returns), so there is
+/// no persistent worker state to own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPool {
+    threads: usize,
+}
+
+impl ExecPool {
+    /// A pool running work on up to `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        ExecPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool that runs everything inline on the calling thread. Used
+    /// for nested fan-outs (a batched query already running on a pool
+    /// worker must not oversubscribe the host) and for exercising the
+    /// sequential path in tests.
+    pub fn sequential() -> Self {
+        ExecPool::new(1)
+    }
+
+    /// Sizes a pool from the environment: [`EXEC_THREADS_ENV`] when set
+    /// to a positive integer, otherwise the host's
+    /// `available_parallelism`.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(EXEC_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        ExecPool::new(threads)
+    }
+
+    /// The process-wide pool shared across queries (and executors):
+    /// sized once from the environment on first use.
+    pub fn global() -> ExecPool {
+        static GLOBAL: OnceLock<ExecPool> = OnceLock::new();
+        *GLOBAL.get_or_init(ExecPool::from_env)
+    }
+
+    /// This pool's thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), …, f(n-1)` across the pool's workers and
+    /// returns the results in index order. Workers claim indices from a
+    /// shared atomic counter (dynamic load balancing: one slow item
+    /// doesn't idle the other workers behind a static stride). With a
+    /// budget of one thread — or a single item — this is a plain loop on
+    /// the calling thread, no spawning.
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` is resumed on the calling thread after all workers
+    /// have been joined.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let joined = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let f = &f;
+                    let next = &next;
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, f(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        })
+        .expect("pool scope closure does not panic");
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut panic_payload = None;
+        for worker in joined {
+            match worker {
+                Ok(items) => {
+                    for (i, v) in items {
+                        slots[i] = Some(v);
+                    }
+                }
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|o| o.expect("every index in 0..n was claimed exactly once"))
+            .collect()
+    }
+}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        ExecPool::global()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 8] {
+            let pool = ExecPool::new(threads);
+            let out = pool.run(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_single_item_runs_are_inline() {
+        let pool = ExecPool::new(8);
+        assert!(pool.run(0, |i| i).is_empty());
+        assert_eq!(pool.run(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn thread_budget_is_clamped_to_one() {
+        assert_eq!(ExecPool::new(0).threads(), 1);
+        assert_eq!(ExecPool::sequential().threads(), 1);
+        assert!(ExecPool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_resume_on_the_caller() {
+        let pool = ExecPool::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(16, |i| {
+                assert!(i != 11, "injected failure");
+                i
+            })
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn borrowed_data_flows_into_workers() {
+        let data: Vec<u64> = (0..1000).collect();
+        let pool = ExecPool::new(4);
+        let sums = pool.run(10, |i| data[i * 100..(i + 1) * 100].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,233 @@
+//! The executor's determinism contract: every observable output —
+//! answers, cost reports, recorded telemetry tables — is independent of
+//! the [`ExecPool`] thread budget. Host wall-clock is the only thing
+//! parallelism is allowed to change.
+
+use proptest::prelude::*;
+use sea_common::{AggregateKind, AnalyticalQuery, Record, Rect, Region};
+use sea_query::{ExecPool, Executor};
+use sea_storage::{Partitioning, StorageCluster};
+use sea_telemetry::{SpanNode, TelemetrySink};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn build_cluster(
+    n: usize,
+    nodes: usize,
+    partitioning: Partitioning,
+    offset: f64,
+) -> StorageCluster {
+    let mut c = StorageCluster::new(nodes, 64);
+    let records: Vec<Record> = (0..n)
+        .map(|i| {
+            Record::new(
+                i as u64,
+                vec![
+                    (i % 100) as f64,
+                    offset + (i % 7) as f64,
+                    ((i * 31) % 53) as f64,
+                ],
+            )
+        })
+        .collect();
+    c.load_table("t", records, partitioning).unwrap();
+    c
+}
+
+fn aggregate_by_index(idx: usize) -> AggregateKind {
+    match idx {
+        0 => AggregateKind::Count,
+        1 => AggregateKind::Sum { dim: 1 },
+        2 => AggregateKind::Mean { dim: 1 },
+        3 => AggregateKind::Variance { dim: 1 },
+        4 => AggregateKind::Min { dim: 2 },
+        5 => AggregateKind::Max { dim: 2 },
+        6 => AggregateKind::Median { dim: 0 },
+        7 => AggregateKind::Quantile { dim: 0, q: 0.75 },
+        8 => AggregateKind::Correlation { x: 0, y: 2 },
+        _ => AggregateKind::Regression { x: 0, y: 1 },
+    }
+}
+
+fn partitioning_by_index(idx: usize) -> Partitioning {
+    if idx == 0 {
+        Partitioning::Hash
+    } else {
+        Partitioning::Range {
+            dim: 0,
+            splits: Partitioning::equi_width_splits(0.0, 100.0, 4),
+        }
+    }
+}
+
+/// Comparable rendering of an execution result: outcomes compare
+/// structurally, errors by message.
+fn outcome_key(r: &sea_common::Result<sea_query::QueryOutcome>) -> String {
+    format!("{r:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn outputs_are_identical_across_thread_counts(
+        n in 200..700usize,
+        agg_idx in 0..10usize,
+        part_idx in 0..2usize,
+        nodes in 2..7usize,
+        lo in 0..40u32,
+        width in 5..60u32,
+    ) {
+        let cluster = build_cluster(n, nodes, partitioning_by_index(part_idx), 0.0);
+        let region = Region::Range(
+            Rect::new(
+                vec![f64::from(lo), 0.0, 0.0],
+                vec![f64::from(lo + width), 8.0, 60.0],
+            )
+            .unwrap(),
+        );
+        let query = AnalyticalQuery::new(region, aggregate_by_index(agg_idx));
+        let baseline_exec = Executor::new(&cluster).with_pool(ExecPool::sequential());
+        let bdas0 = outcome_key(&baseline_exec.execute_bdas("t", &query));
+        let direct0 = outcome_key(&baseline_exec.execute_direct("t", &query));
+        for threads in THREAD_COUNTS {
+            let exec = Executor::new(&cluster).with_pool(ExecPool::new(threads));
+            prop_assert_eq!(
+                &outcome_key(&exec.execute_bdas("t", &query)),
+                &bdas0,
+                "bdas with {} threads",
+                threads
+            );
+            prop_assert_eq!(
+                &outcome_key(&exec.execute_direct("t", &query)),
+                &direct0,
+                "direct with {} threads",
+                threads
+            );
+        }
+    }
+}
+
+fn zero_wall(node: &mut SpanNode) {
+    node.wall_us = 0.0;
+    for c in &mut node.children {
+        zero_wall(c);
+    }
+}
+
+/// Runs one workload under a recording sink with the given thread
+/// budget and returns the snapshot with wall-clock scrubbed.
+fn recorded_snapshot(threads: usize) -> sea_telemetry::TelemetrySnapshot {
+    let mut cluster = build_cluster(2000, 4, Partitioning::Hash, 0.0);
+    let sink = TelemetrySink::recording();
+    cluster.set_telemetry(sink.clone());
+    let exec = Executor::new(&cluster).with_pool(ExecPool::new(threads));
+    for agg_idx in 0..6usize {
+        sink.begin_query(agg_idx as u64);
+        let q = AnalyticalQuery::new(
+            Region::Range(Rect::new(vec![10.0, 0.0, 0.0], vec![70.0, 8.0, 60.0]).unwrap()),
+            aggregate_by_index(agg_idx),
+        );
+        exec.execute_bdas("t", &q).unwrap();
+        exec.execute_direct("t", &q).unwrap();
+    }
+    let mut snap = sink.snapshot().unwrap();
+    for root in &mut snap.spans.roots {
+        zero_wall(root);
+    }
+    snap
+}
+
+#[test]
+fn recorded_telemetry_tables_are_bit_identical_across_thread_counts() {
+    let base = recorded_snapshot(1);
+    assert!(!base.spans.roots.is_empty());
+    assert!(base.counter("storage.node.scans") > 0);
+    for threads in [2, 8] {
+        let snap = recorded_snapshot(threads);
+        assert_eq!(snap.counters, base.counters, "{threads} threads: counters");
+        assert_eq!(
+            snap.histograms, base.histograms,
+            "{threads} threads: histograms"
+        );
+        assert_eq!(snap.events, base.events, "{threads} threads: events");
+        assert_eq!(
+            snap.spans, base.spans,
+            "{threads} threads: span forest (ids, parents, tags, sim)"
+        );
+    }
+}
+
+#[test]
+fn execute_batch_matches_per_query_execution() {
+    let cluster = build_cluster(3000, 5, Partitioning::Hash, 0.0);
+    let queries: Vec<AnalyticalQuery> = (0..24usize)
+        .map(|i| {
+            AnalyticalQuery::new(
+                Region::Range(
+                    Rect::new(
+                        vec![(i % 10) as f64 * 5.0, 0.0, 0.0],
+                        vec![(i % 10) as f64 * 5.0 + 20.0, 8.0, 60.0],
+                    )
+                    .unwrap(),
+                ),
+                aggregate_by_index(i % 10),
+            )
+        })
+        .collect();
+    let exec = Executor::new(&cluster).with_pool(ExecPool::new(8));
+    let sequential = Executor::new(&cluster).with_pool(ExecPool::sequential());
+    let batch_direct = exec.execute_batch("t", &queries);
+    let batch_bdas = exec.execute_batch_bdas("t", &queries);
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(
+            outcome_key(&batch_direct[i]),
+            outcome_key(&sequential.execute_direct("t", q)),
+            "direct query {i}"
+        );
+        assert_eq!(
+            outcome_key(&batch_bdas[i]),
+            outcome_key(&sequential.execute_bdas("t", q)),
+            "bdas query {i}"
+        );
+    }
+}
+
+#[test]
+fn batch_spans_land_under_the_batch_root() {
+    let mut cluster = build_cluster(1000, 4, Partitioning::Hash, 0.0);
+    let sink = TelemetrySink::recording();
+    cluster.set_telemetry(sink.clone());
+    let exec = Executor::new(&cluster).with_pool(ExecPool::new(4));
+    let queries: Vec<AnalyticalQuery> = (0..8usize)
+        .map(|i| {
+            AnalyticalQuery::new(
+                Region::Range(
+                    Rect::new(vec![0.0, 0.0, 0.0], vec![40.0 + i as f64, 8.0, 60.0]).unwrap(),
+                ),
+                AggregateKind::Count,
+            )
+        })
+        .collect();
+    let results = exec.execute_batch("t", &queries);
+    assert!(results.iter().all(Result::is_ok));
+    let snap = sink.snapshot().unwrap();
+    let batch = snap
+        .spans
+        .roots
+        .iter()
+        .find(|r| r.name == "query.executor.batch")
+        .expect("batch root span");
+    let per_query: Vec<_> = batch
+        .children
+        .iter()
+        .filter(|c| c.name == "query.executor.direct")
+        .collect();
+    assert_eq!(per_query.len(), 8, "every query's tree under the batch");
+    for q in per_query {
+        assert!(q.find("query.executor.scatter").is_some());
+        assert!(q.find("query.executor.gather").is_some());
+        assert_eq!(q.parent_span_id, batch.span_id);
+    }
+    assert_eq!(snap.spans.open_spans, 0);
+}

@@ -351,6 +351,75 @@ impl StorageCluster {
         Ok(records)
     }
 
+    /// Telemetry-free full scan of table `name` on node `node`: charges
+    /// `meter` exactly like [`StorageCluster::scan_node`] but emits no
+    /// spans, counters, or events, and additionally returns the
+    /// [`ScanStats`](crate::node::ScanStats). Built for parallel
+    /// executors whose workers must stay telemetry-silent so the
+    /// coordinator can replay each scan deterministically afterwards via
+    /// [`StorageCluster::record_scan`].
+    ///
+    /// # Errors
+    ///
+    /// As [`StorageCluster::scan_node`].
+    pub fn scan_node_stats<'a>(
+        &'a self,
+        name: &str,
+        node: NodeId,
+        meter: &mut CostMeter,
+    ) -> Result<(Vec<&'a Record>, crate::node::ScanStats)> {
+        let meta = self.meta(name)?;
+        let n = self.serving_copy(meta, node)?;
+        Ok(n.scan_all_stats(meter))
+    }
+
+    /// Telemetry-free block-pruned scan (the quiet counterpart of
+    /// [`StorageCluster::scan_node_region`]; see
+    /// [`StorageCluster::scan_node_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`StorageCluster::scan_node_region`].
+    pub fn scan_node_region_stats<'a>(
+        &'a self,
+        name: &str,
+        node: NodeId,
+        region: &Rect,
+        meter: &mut CostMeter,
+    ) -> Result<(Vec<&'a Record>, crate::node::ScanStats)> {
+        let meta = self.meta(name)?;
+        SeaError::check_dims(meta.dims, region.dims())?;
+        let n = self.serving_copy(meta, node)?;
+        Ok(n.scan_region_stats(region, meter))
+    }
+
+    /// Replays the telemetry of one already-performed quiet scan
+    /// ([`StorageCluster::scan_node_stats`] /
+    /// [`StorageCluster::scan_node_region_stats`]): opens the same
+    /// `storage.node.scan` span under `parent` and emits the same
+    /// counters and `storage.node.scanned` event the traced scan paths
+    /// would have. Calling this from a single coordinator thread in a
+    /// fixed node order makes the recorded tables independent of how
+    /// many worker threads performed the scans. `kind` is `"full"` or
+    /// `"region"`.
+    pub fn record_scan(
+        &self,
+        name: &str,
+        node: NodeId,
+        kind: &str,
+        stats: &crate::node::ScanStats,
+        parent: &TraceContext,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let span = self.telemetry.span_child_of(parent, "storage.node.scan");
+        span.tag("node", node);
+        span.tag("table", name);
+        span.tag("kind", kind);
+        self.note_scan(name, node, kind, stats);
+    }
+
     /// Records one node scan into the telemetry sink (no-op when
     /// disabled): `storage.node.*` counters plus a `storage.node.scanned`
     /// event carrying the pruning outcome. Simulated time lives on the
@@ -684,6 +753,68 @@ mod tests {
     fn all_records_is_cost_free_oracle() {
         let c = loaded_cluster();
         assert_eq!(c.all_records("t").unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn quiet_scan_plus_record_scan_matches_the_traced_scan() {
+        let mut traced = loaded_cluster();
+        let traced_sink = TelemetrySink::recording();
+        traced.set_telemetry(traced_sink.clone());
+        let mut quiet = loaded_cluster();
+        let quiet_sink = TelemetrySink::recording();
+        quiet.set_telemetry(quiet_sink.clone());
+
+        let region = Rect::new(vec![10.0, 0.0], vec![20.0, 1e9]).unwrap();
+        for node in 0..traced.num_nodes() {
+            let mut mt = CostMeter::new();
+            let rt = traced
+                .scan_node_region_traced("t", node, &region, &TraceContext::NONE, &mut mt)
+                .unwrap();
+            let mut mq = CostMeter::new();
+            let (rq, stats) = quiet
+                .scan_node_region_stats("t", node, &region, &mut mq)
+                .unwrap();
+            assert_eq!(
+                rt.iter().map(|r| r.id).collect::<Vec<_>>(),
+                rq.iter().map(|r| r.id).collect::<Vec<_>>()
+            );
+            assert_eq!(mt, mq, "quiet scan charges the same simulated cost");
+            quiet.record_scan("t", node, "region", &stats, &TraceContext::NONE);
+        }
+        let ts = traced_sink.snapshot().unwrap();
+        let qs = quiet_sink.snapshot().unwrap();
+        for counter in [
+            "storage.node.scans",
+            "storage.node.blocks_read",
+            "storage.node.blocks_pruned",
+            "storage.node.bytes_read",
+        ] {
+            assert_eq!(ts.counter(counter), qs.counter(counter), "{counter}");
+        }
+        assert_eq!(
+            ts.event_count("storage.node.scanned"),
+            qs.event_count("storage.node.scanned")
+        );
+        assert_eq!(ts.spans.roots.len(), qs.spans.roots.len());
+        assert_eq!(ts.spans.roots[0].name, "storage.node.scan");
+        assert_eq!(ts.spans.roots[0].tags, qs.spans.roots[0].tags);
+    }
+
+    #[test]
+    fn quiet_scans_emit_no_telemetry() {
+        let mut c = loaded_cluster();
+        let sink = TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        let mut meter = CostMeter::new();
+        c.scan_node_stats("t", 0, &mut meter).unwrap();
+        let region = Rect::new(vec![0.0, 0.0], vec![50.0, 1e9]).unwrap();
+        c.scan_node_region_stats("t", 1, &region, &mut meter)
+            .unwrap();
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.counter("storage.node.scans"), 0);
+        assert!(snap.spans.roots.is_empty());
+        assert_eq!(snap.event_count("storage.node.scanned"), 0);
+        assert!(meter.disk_bytes > 0, "cost is still charged");
     }
 }
 

@@ -1,20 +1,25 @@
 //! Nested timing spans with wall-clock and simulated-cost attribution
 //! plus deterministic distributed-trace identity.
 //!
-//! [`SpanGuard`]s form a per-recorder stack: a span opened while another
-//! guard is live becomes its child, so instrumented layers compose into
-//! a tree (`bench.query` → `core.pipeline.process` →
-//! `query.executor.scan` → `storage.node.scan`) without any explicit
-//! plumbing between them. Where work crosses a simulated node boundary
-//! (executor → storage node, coordinator → constituent system), the
-//! callee opens its span with an explicit [`TraceContext`] parent via
-//! [`crate::TelemetrySink::span_child_of`], so the tree stays coherent
-//! even when the ambient stack would mis-attribute it. Every completed
-//! span carries `trace_id` / `span_id` / `parent_span_id` (deterministic;
-//! no wall clock or RNG) and free-form tags for per-hop attribution
-//! (which storage node, which branch the agent took). Completed root
-//! trees are kept up to a bound; beyond it only a drop counter grows,
-//! keeping memory flat over long runs.
+//! [`SpanGuard`]s form a per-recorder, **per-thread** stack: a span
+//! opened while another guard is live on the same thread becomes its
+//! child, so instrumented layers compose into a tree (`bench.query` →
+//! `core.pipeline.process` → `query.executor.scan` →
+//! `storage.node.scan`) without any explicit plumbing between them.
+//! Where work crosses a simulated node boundary (executor → storage
+//! node, coordinator → constituent system) — or a real thread boundary
+//! (the executor's scatter workers, a batched query on a pool thread) —
+//! the callee opens its span with an explicit [`TraceContext`] parent
+//! via [`crate::TelemetrySink::span_child_of`], so the tree stays
+//! coherent even when no ambient stack could attribute it: a span
+//! finished off-thread attaches to its declared parent wherever that
+//! parent's thread is, never to an unrelated span that happens to be
+//! open elsewhere. Every completed span carries `trace_id` / `span_id`
+//! / `parent_span_id` (deterministic; no wall clock or RNG) and
+//! free-form tags for per-hop attribution (which storage node, which
+//! branch the agent took). Completed root trees are kept up to a bound;
+//! beyond it only a drop counter grows, keeping memory flat over long
+//! runs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,11 +51,31 @@ struct OpenSpan {
     children: Vec<SpanNode>,
 }
 
+/// The ambient open-span stack of one OS thread. Stacks are keyed by a
+/// process-unique thread id (not reused, unlike OS thread ids), created
+/// on a thread's first span and removed once its stack drains, so
+/// short-lived pool threads never accumulate state.
+#[derive(Debug)]
+struct ThreadStack {
+    tid: u64,
+    open: Vec<OpenSpan>,
+}
+
 #[derive(Debug, Default)]
 struct SpanState {
-    open: Vec<OpenSpan>,
+    stacks: Vec<ThreadStack>,
     roots: Vec<SpanNode>,
     dropped_roots: u64,
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
 }
 
 /// Span backend owned by a [`Recorder`].
@@ -71,9 +96,9 @@ impl Default for SpanRecorder {
 
 impl SpanRecorder {
     /// Opens a span. `parent` wins when active; otherwise the span nests
-    /// under the top of the ambient stack; otherwise it becomes a root
-    /// whose trace id derives from `query` (or a salted span id when no
-    /// query is active).
+    /// under the top of the calling thread's ambient stack; otherwise it
+    /// becomes a root whose trace id derives from `query` (or a salted
+    /// span id when no query is active).
     pub(crate) fn enter(
         &self,
         recorder: Arc<Recorder>,
@@ -82,11 +107,22 @@ impl SpanRecorder {
         query: Option<u64>,
     ) -> SpanGuard {
         let span_id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let tid = current_thread_id();
         let mut state = self.state.lock();
+        let k = match state.stacks.iter().position(|st| st.tid == tid) {
+            Some(k) => k,
+            None => {
+                state.stacks.push(ThreadStack {
+                    tid,
+                    open: Vec::new(),
+                });
+                state.stacks.len() - 1
+            }
+        };
         let (trace_id, parent_span_id) = if parent.is_active() {
             (parent.trace_id, parent.span_id)
         } else {
-            match state.open.last() {
+            match state.stacks[k].open.last() {
                 Some(top) => (top.trace_id, top.span_id),
                 None => match query {
                     Some(q) => (trace_id_for_query(q), 0),
@@ -94,7 +130,7 @@ impl SpanRecorder {
                 },
             }
         };
-        state.open.push(OpenSpan {
+        state.stacks[k].open.push(OpenSpan {
             name: name.to_string(),
             started: Instant::now(),
             sim_us: 0.0,
@@ -110,26 +146,39 @@ impl SpanRecorder {
         }
     }
 
+    fn find_open_mut(state: &mut SpanState, span_id: u64) -> Option<&mut OpenSpan> {
+        state
+            .stacks
+            .iter_mut()
+            .flat_map(|st| st.open.iter_mut().rev())
+            .find(|s| s.span_id == span_id)
+    }
+
     fn add_sim_us(&self, span_id: u64, us: f64) {
         let mut state = self.state.lock();
-        if let Some(span) = state.open.iter_mut().rev().find(|s| s.span_id == span_id) {
+        if let Some(span) = Self::find_open_mut(&mut state, span_id) {
             span.sim_us += us;
         }
     }
 
     fn add_tag(&self, span_id: u64, key: &str, value: FieldValue) {
         let mut state = self.state.lock();
-        if let Some(span) = state.open.iter_mut().rev().find(|s| s.span_id == span_id) {
+        if let Some(span) = Self::find_open_mut(&mut state, span_id) {
             span.tags.push((key.to_string(), value));
         }
     }
 
-    /// The context of the innermost open span, for stamping events.
+    /// The context of the calling thread's innermost open span, for
+    /// stamping events. Spans open on other threads never leak into
+    /// this thread's events.
     pub(crate) fn current_ctx(&self) -> TraceContext {
+        let tid = current_thread_id();
         let state = self.state.lock();
         state
-            .open
-            .last()
+            .stacks
+            .iter()
+            .find(|st| st.tid == tid)
+            .and_then(|st| st.open.last())
             .map_or(TraceContext::NONE, |top| TraceContext {
                 trace_id: top.trace_id,
                 span_id: top.span_id,
@@ -137,16 +186,26 @@ impl SpanRecorder {
     }
 
     /// Closes the span with id `span_id`, folding any still-open
-    /// descendants above it (guards leaked or dropped out of order)
-    /// into their parents first. A stale guard (id already gone) is a
-    /// no-op.
+    /// descendants above it in its own thread's stack (guards leaked or
+    /// dropped out of order) into their parents first. A stale guard
+    /// (id already gone) is a no-op. Completed nodes attach to their
+    /// declared parent if it is still open — on any thread, so spans
+    /// finished off-thread land under the right parent — else to the
+    /// owning thread's nearest enclosing span, else the root forest.
     fn exit(&self, span_id: u64) {
         let mut state = self.state.lock();
-        if !state.open.iter().any(|s| s.span_id == span_id) {
+        let Some(k) = state
+            .stacks
+            .iter()
+            .position(|st| st.open.iter().any(|s| s.span_id == span_id))
+        else {
             return;
-        }
+        };
         loop {
-            let open = state.open.pop().expect("span present by check above");
+            let open = state.stacks[k]
+                .open
+                .pop()
+                .expect("span present by check above");
             let done = open.span_id == span_id;
             let node = SpanNode {
                 name: open.name,
@@ -158,16 +217,15 @@ impl SpanRecorder {
                 tags: open.tags,
                 children: open.children,
             };
-            // Prefer the declared parent if it is still open (explicit
-            // child_of spans); otherwise the nearest enclosing span;
-            // otherwise the node is a completed root.
-            let declared = state
-                .open
-                .iter()
-                .rposition(|s| s.span_id == node.parent_span_id);
+            let declared = state.stacks.iter().enumerate().find_map(|(j, st)| {
+                st.open
+                    .iter()
+                    .rposition(|s| s.span_id == node.parent_span_id)
+                    .map(|i| (j, i))
+            });
             match declared {
-                Some(i) => state.open[i].children.push(node),
-                None => match state.open.last_mut() {
+                Some((j, i)) => state.stacks[j].open[i].children.push(node),
+                None => match state.stacks[k].open.last_mut() {
                     Some(top) => top.children.push(node),
                     None => {
                         if state.roots.len() < MAX_ROOT_SPANS {
@@ -182,13 +240,16 @@ impl SpanRecorder {
                 break;
             }
         }
+        if state.stacks[k].open.is_empty() {
+            state.stacks.remove(k);
+        }
     }
 
     pub(crate) fn snapshot(&self) -> SpanForestSnapshot {
         let state = self.state.lock();
         SpanForestSnapshot {
             roots: state.roots.clone(),
-            open_spans: state.open.len() as u64,
+            open_spans: state.stacks.iter().map(|st| st.open.len() as u64).sum(),
             dropped_roots: state.dropped_roots,
         }
     }
@@ -421,6 +482,70 @@ mod tests {
             node.tag("branch"),
             Some(&crate::FieldValue::Str("exact".into()))
         );
+    }
+
+    #[test]
+    fn spans_finished_off_thread_land_under_their_declared_parent() {
+        let sink = TelemetrySink::recording();
+        {
+            let scatter = sink.span("scatter");
+            let scatter_ctx = scatter.ctx();
+            std::thread::scope(|s| {
+                for node in 0..3u64 {
+                    let sink = &sink;
+                    s.spawn(move || {
+                        let w = sink.span_child_of(&scatter_ctx, "node.work");
+                        w.tag("node", node);
+                    });
+                }
+            });
+            // A worker's span must not have adopted the coordinator's
+            // ambient stack, nor polluted this thread's event context.
+            sink.event("coordinator.checkpoint", &[]);
+            let snap = sink.snapshot().unwrap();
+            let ev = snap
+                .events
+                .events
+                .iter()
+                .find(|e| e.name == "coordinator.checkpoint")
+                .unwrap();
+            assert_eq!(ev.span_id, scatter_ctx.span_id);
+        }
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.spans.roots.len(), 1);
+        let scatter = &snap.spans.roots[0];
+        assert_eq!(scatter.name, "scatter");
+        assert_eq!(scatter.children.len(), 3);
+        for child in &scatter.children {
+            assert_eq!(child.name, "node.work");
+            assert_eq!(child.parent_span_id, scatter.span_id);
+            assert_eq!(child.trace_id, scatter.trace_id);
+        }
+        assert_eq!(snap.spans.open_spans, 0);
+    }
+
+    #[test]
+    fn concurrent_roots_on_separate_threads_stay_disjoint_trees() {
+        let sink = TelemetrySink::recording();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sink = &sink;
+                s.spawn(move || {
+                    let root = sink.span("worker.root");
+                    let _child = sink.span("worker.child");
+                    root.record_sim_us(1.0);
+                });
+            }
+        });
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.spans.roots.len(), 4);
+        for root in &snap.spans.roots {
+            assert_eq!(root.name, "worker.root");
+            assert_eq!(root.children.len(), 1, "each tree keeps its own child");
+            assert_eq!(root.children[0].name, "worker.child");
+            assert_eq!(root.children[0].trace_id, root.trace_id);
+        }
+        assert_eq!(snap.spans.open_spans, 0);
     }
 
     #[test]
