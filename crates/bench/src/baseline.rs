@@ -29,8 +29,10 @@ pub const BASELINE_SCHEMA_VERSION: u64 = 1;
 /// The fixed experiment subset the harness runs: E1 (data-less vs
 /// BDAS), E4 (rank join), E7 (throughput), E8 (storage footprint) —
 /// together they exercise the executor, storage, pipeline, and agent
-/// layers.
-pub const BASELINE_EXPERIMENTS: [&str; 4] = ["e1", "e4", "e7", "e8"];
+/// layers — plus E18 (fault tolerance), whose metrics are recorded for
+/// trend-watching only (injected faults measure the recovery machinery,
+/// not the steady-state query path, so none of them gate).
+pub const BASELINE_EXPERIMENTS: [&str; 5] = ["e1", "e4", "e7", "e8", "e18"];
 
 /// Default relative tolerance for [`compare`]: a gated metric may move
 /// up to this fraction in its bad direction before it counts as a
@@ -198,6 +200,26 @@ pub fn collect() -> sea_common::Result<BenchBaseline> {
                 higher_is_better: true,
                 gate: false,
             });
+        }
+        if id == "e18" {
+            // Deliberately injected faults: every number here measures
+            // the fault-handling machinery (retries, failovers, partial
+            // answers), so nothing gates — recorded as trends only.
+            for m in &mut metrics {
+                m.gate = false;
+            }
+            for (name, counter) in [
+                ("fault_retries", "query.retries"),
+                ("fault_failovers", "query.failovers"),
+                ("fault_degraded", "query.degraded"),
+            ] {
+                metrics.push(HeadlineMetric {
+                    name: name.to_string(),
+                    value: snap.counter(counter) as f64,
+                    higher_is_better: false,
+                    gate: false,
+                });
+            }
         }
         experiments.push(ExperimentBaseline {
             id: id.to_string(),

@@ -19,6 +19,7 @@ mod e14_model_selection;
 mod e15_polystore;
 mod e16_raw_data;
 mod e17_calibration;
+mod e18_faults;
 
 pub use a01_ablations::{run_a1, run_a1_with};
 pub use e01_dataless::{run_e1, run_e1_with};
@@ -38,6 +39,7 @@ pub use e14_model_selection::{run_e14, run_e14_with};
 pub use e15_polystore::{run_e15, run_e15_with};
 pub use e16_raw_data::{run_e16, run_e16_with};
 pub use e17_calibration::{run_e17, run_e17_with};
+pub use e18_faults::{run_e18, run_e18_with};
 
 use crate::Report;
 
@@ -78,6 +80,7 @@ pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_comm
         "e15" => run_e15_with(sink),
         "e16" => run_e16_with(sink),
         "e17" => run_e17_with(sink),
+        "e18" => run_e18_with(sink),
         "a1" => run_a1_with(sink),
         other => Err(sea_common::SeaError::NotFound(format!(
             "experiment {other}"
@@ -86,7 +89,7 @@ pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_comm
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "a1",
+    "e16", "e17", "e18", "a1",
 ];

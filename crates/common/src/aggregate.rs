@@ -185,7 +185,9 @@ fn quantile_of(values: impl Iterator<Item = f64>, q: f64) -> Result<AnswerValue>
     if v.is_empty() {
         return Err(SeaError::Empty("quantile over empty subspace".into()));
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    // total_cmp: NaNs sort to the ends instead of panicking, so a poisoned
+    // input yields a (NaN) answer rather than aborting the query path.
+    v.sort_by(f64::total_cmp);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -388,6 +390,23 @@ mod tests {
             AggregateKind::Median { dim: 0 }.compute(&empty),
             Err(SeaError::Empty(_))
         ));
+    }
+
+    #[test]
+    fn nan_values_never_panic_order_statistics() {
+        // A poisoned attribute must not abort the query path: quantiles
+        // over NaN-laden data answer (possibly with NaN) instead of
+        // panicking in the sort comparator.
+        let r = recs(&[[1.0, 10.0], [f64::NAN, 20.0], [3.0, 30.0]]);
+        let med = AggregateKind::Median { dim: 0 }.compute(&r).unwrap();
+        assert!(med.as_scalar().is_some());
+        let q = AggregateKind::Quantile { dim: 0, q: 0.9 }.compute(&r);
+        assert!(q.is_ok());
+        // The clean attribute is unaffected.
+        assert_eq!(
+            AggregateKind::Median { dim: 1 }.compute(&r).unwrap(),
+            AnswerValue::Scalar(20.0)
+        );
     }
 
     #[test]

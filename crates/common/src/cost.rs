@@ -89,6 +89,9 @@ pub struct CostMeter {
     pub layer_crossings: u64,
     /// Data-server nodes engaged by the task.
     pub nodes_touched: u64,
+    /// Simulated microseconds spent waiting in retry backoff (charged at
+    /// 1 µs per unit — the unit *is* microseconds, no model rate needed).
+    pub backoff_us: u64,
 }
 
 impl CostMeter {
@@ -127,6 +130,11 @@ impl CostMeter {
         self.records_processed += records;
     }
 
+    /// Charges `us` simulated microseconds of retry-backoff waiting.
+    pub fn charge_backoff(&mut self, us: u64) {
+        self.backoff_us += us;
+    }
+
     /// Records that a task engaged one more data-server node, crossing
     /// `layers` BDAS layers on it.
     pub fn touch_node(&mut self, layers: u64) {
@@ -147,6 +155,25 @@ impl CostMeter {
         self.records_processed += other.records_processed;
         self.layer_crossings += other.layer_crossings;
         self.nodes_touched += other.nodes_touched;
+        self.backoff_us += other.backoff_us;
+    }
+
+    /// Adds another meter's counters into this one, each scaled by
+    /// `factor` (rounded to the nearest integer). The fault layer's
+    /// slow-node model: the same work, `factor`× the cost.
+    pub fn merge_scaled(&mut self, other: &CostMeter, factor: f64) {
+        let scale = |x: u64| (x as f64 * factor).round() as u64;
+        self.disk_seeks += scale(other.disk_seeks);
+        self.disk_point_reads += scale(other.disk_point_reads);
+        self.disk_bytes += scale(other.disk_bytes);
+        self.lan_msgs += scale(other.lan_msgs);
+        self.lan_bytes += scale(other.lan_bytes);
+        self.wan_msgs += scale(other.wan_msgs);
+        self.wan_bytes += scale(other.wan_bytes);
+        self.records_processed += scale(other.records_processed);
+        self.layer_crossings += scale(other.layer_crossings);
+        self.nodes_touched += scale(other.nodes_touched);
+        self.backoff_us += scale(other.backoff_us);
     }
 
     /// Simulated elapsed microseconds if all this meter's work ran
@@ -161,6 +188,7 @@ impl CostMeter {
             + self.wan_bytes as f64 * model.wan_byte_us
             + self.records_processed as f64 * model.cpu_record_us
             + self.layer_crossings as f64 * model.layer_us
+            + self.backoff_us as f64
     }
 
     /// Builds the final [`CostReport`] for a task whose per-node work is
@@ -197,6 +225,14 @@ pub struct CostReport {
     pub wall_us: f64,
     /// Money cost in arbitrary currency units.
     pub money: f64,
+    /// Fraction of the engaged partitions that contributed to the answer:
+    /// 1.0 for a complete answer, less when a partial-answer executor
+    /// skipped unavailable partitions (the availability-for-accuracy
+    /// trade made explicit).
+    pub answered_fraction: f64,
+    /// Partitions that could not be served at all (down, no live
+    /// replica, retries exhausted).
+    pub nodes_unavailable: u64,
 }
 
 impl CostReport {
@@ -210,6 +246,8 @@ impl CostReport {
             totals,
             wall_us,
             money,
+            answered_fraction: 1.0,
+            nodes_unavailable: 0,
         }
     }
 
@@ -219,10 +257,14 @@ impl CostReport {
             totals: CostMeter::default(),
             wall_us: 0.0,
             money: 0.0,
+            answered_fraction: 1.0,
+            nodes_unavailable: 0,
         }
     }
 
-    /// Combines two reports executed one after the other.
+    /// Combines two reports executed one after the other. Availability
+    /// composes pessimistically: the combined answer is only as complete
+    /// as its least-complete part, and unavailable partitions sum.
     pub fn then(&self, later: &CostReport) -> CostReport {
         let mut totals = self.totals;
         totals.merge(&later.totals);
@@ -230,6 +272,8 @@ impl CostReport {
             totals,
             wall_us: self.wall_us + later.wall_us,
             money: self.money + later.money,
+            answered_fraction: self.answered_fraction.min(later.answered_fraction),
+            nodes_unavailable: self.nodes_unavailable + later.nodes_unavailable,
         }
     }
 }
@@ -319,6 +363,52 @@ mod tests {
         assert_eq!(z.wall_us, 0.0);
         assert_eq!(z.money, 0.0);
         assert_eq!(z.totals, CostMeter::default());
+        assert_eq!(z.answered_fraction, 1.0);
+        assert_eq!(z.nodes_unavailable, 0);
+    }
+
+    #[test]
+    fn backoff_is_charged_as_microseconds() {
+        let model = CostModel::default();
+        let mut m = CostMeter::new();
+        m.charge_backoff(1_500);
+        assert!((m.sequential_us(&model) - 1_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_scaled_multiplies_counters() {
+        let mut slow = CostMeter::new();
+        let mut scan = CostMeter::new();
+        scan.charge_disk_read(1_000);
+        scan.charge_cpu(10);
+        slow.merge_scaled(&scan, 3.0);
+        assert_eq!(slow.disk_seeks, 3);
+        assert_eq!(slow.disk_bytes, 3_000);
+        assert_eq!(slow.records_processed, 30);
+    }
+
+    #[test]
+    fn then_composes_availability_pessimistically() {
+        let mut a = CostReport::zero();
+        a.answered_fraction = 0.75;
+        a.nodes_unavailable = 1;
+        let mut b = CostReport::zero();
+        b.answered_fraction = 0.5;
+        b.nodes_unavailable = 2;
+        let c = a.then(&b);
+        assert_eq!(c.answered_fraction, 0.5);
+        assert_eq!(c.nodes_unavailable, 3);
+    }
+
+    #[test]
+    fn availability_fields_default_to_complete() {
+        let model = CostModel::default();
+        let mut m = CostMeter::new();
+        m.charge_cpu(10);
+        let r = m.report_sequential(&model);
+        assert_eq!(r.answered_fraction, 1.0);
+        assert_eq!(r.nodes_unavailable, 0);
+        assert_eq!(r.totals.backoff_us, 0);
     }
 }
 
@@ -328,8 +418,8 @@ mod prop_tests {
     use proptest::prelude::*;
 
     /// Arbitrary meter with realistically-bounded counters (the tuple
-    /// strategies top out at six fields, so the ten counters are grouped
-    /// as two quintuples).
+    /// strategies top out at six fields, so the eleven counters are
+    /// grouped as a quintuple and a sextuple).
     fn meter() -> impl Strategy<Value = CostMeter> {
         (
             (
@@ -345,10 +435,14 @@ mod prop_tests {
                 0..10_000_000u64,
                 0..1_000u64,
                 0..64u64,
+                0..1_000_000u64,
             ),
         )
             .prop_map(
-                |((seeks, points, dbytes, lmsgs, lbytes), (wmsgs, wbytes, recs, layers, nodes))| {
+                |(
+                    (seeks, points, dbytes, lmsgs, lbytes),
+                    (wmsgs, wbytes, recs, layers, nodes, backoff),
+                )| {
                     CostMeter {
                         disk_seeks: seeks,
                         disk_point_reads: points,
@@ -360,6 +454,7 @@ mod prop_tests {
                         records_processed: recs,
                         layer_crossings: layers,
                         nodes_touched: nodes,
+                        backoff_us: backoff,
                     }
                 },
             )
@@ -401,6 +496,14 @@ mod prop_tests {
             prop_assert_eq!(m.records_processed, a.records_processed + b.records_processed);
             prop_assert_eq!(m.layer_crossings, a.layer_crossings + b.layer_crossings);
             prop_assert_eq!(m.nodes_touched, a.nodes_touched + b.nodes_touched);
+            prop_assert_eq!(m.backoff_us, a.backoff_us + b.backoff_us);
+        }
+
+        #[test]
+        fn merge_scaled_by_one_is_merge(a in meter(), b in meter()) {
+            let mut scaled = a;
+            scaled.merge_scaled(&b, 1.0);
+            prop_assert_eq!(scaled, merged(&a, &b));
         }
 
         #[test]

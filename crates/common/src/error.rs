@@ -29,6 +29,11 @@ pub enum SeaError {
     Storage(String),
     /// Serialization or deserialization failed.
     Serde(String),
+    /// A transient fault: the operation failed now but is expected to
+    /// succeed if retried (injected faults, simulated packet loss).
+    /// Callers with a retry budget should retry; everyone else should
+    /// treat it like [`SeaError::Storage`].
+    Transient(String),
 }
 
 impl fmt::Display for SeaError {
@@ -44,6 +49,7 @@ impl fmt::Display for SeaError {
             SeaError::Model(msg) => write!(f, "model error: {msg}"),
             SeaError::Storage(msg) => write!(f, "storage error: {msg}"),
             SeaError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            SeaError::Transient(msg) => write!(f, "transient fault: {msg}"),
         }
     }
 }
@@ -54,6 +60,11 @@ impl SeaError {
     /// Convenience constructor for [`SeaError::InvalidArgument`].
     pub fn invalid(msg: impl Into<String>) -> Self {
         SeaError::InvalidArgument(msg.into())
+    }
+
+    /// Whether this error is worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SeaError::Transient(_))
     }
 
     /// Checks that `actual == expected`, returning a

@@ -33,6 +33,16 @@ pub enum AnswerSource {
     },
     /// Executed exactly against the base data (and used for training).
     Exact,
+    /// Exact execution failed and the pipeline served the agent's best
+    /// available prediction instead (opt-in via
+    /// [`AgentPipeline::with_degraded_fallback`]). Degraded answers are
+    /// never used for training.
+    Degraded {
+        /// The agent's error estimate at prediction time — typically
+        /// *above* the pipeline's threshold, which is why exact execution
+        /// was attempted in the first place.
+        estimated_error: f64,
+    },
 }
 
 /// The outcome of one query through the pipeline.
@@ -61,6 +71,10 @@ pub struct AgentPipeline {
     /// keep improving after the training phase. 0 disables audits.
     refresh_every: u64,
     predictions_since_audit: u64,
+    /// When exact execution fails (node down, injected fault) and the
+    /// agent had produced a prediction, serve that prediction as a
+    /// [`AnswerSource::Degraded`] answer instead of an error.
+    degraded_fallback: bool,
     telemetry: TelemetrySink,
 }
 
@@ -84,6 +98,7 @@ impl AgentPipeline {
             mode,
             refresh_every: 8,
             predictions_since_audit: 0,
+            degraded_fallback: false,
             telemetry: TelemetrySink::default(),
         })
     }
@@ -93,6 +108,19 @@ impl AgentPipeline {
     #[must_use]
     pub fn with_refresh_every(mut self, n: u64) -> Self {
         self.refresh_every = n;
+        self
+    }
+
+    /// Opt-in graceful degradation: when exact execution fails but the
+    /// agent had produced a prediction for the query (even one whose
+    /// error estimate is above the threshold), the pipeline returns that
+    /// prediction as an [`AnswerSource::Degraded`] answer instead of
+    /// propagating the error. Degraded answers never train the agent, so
+    /// a flaky cluster cannot poison the model. Off by default: failures
+    /// surface as errors.
+    #[must_use]
+    pub fn with_degraded_fallback(mut self, on: bool) -> Self {
+        self.degraded_fallback = on;
         self
     }
 
@@ -140,7 +168,8 @@ impl AgentPipeline {
         // −1 = the agent produced no estimate at all (kept finite so the
         // payload survives JSON round-trips).
         let mut fallback_est_error = -1.0;
-        if let Ok(pred) = self.agent.predict(query) {
+        let prediction = self.agent.predict(query).ok();
+        if let Some(pred) = &prediction {
             let audit_due =
                 self.refresh_every > 0 && self.predictions_since_audit + 1 >= self.refresh_every;
             if pred.estimated_error <= self.error_threshold && !audit_due {
@@ -190,9 +219,35 @@ impl AgentPipeline {
         self.predictions_since_audit = 0;
         // The executor's span tree (scatter → per-node scans → gather)
         // hangs under this pipeline span via the explicit trace parent.
-        let outcome = match self.mode {
-            ExecMode::Bdas => executor.execute_bdas_traced(&self.table, query, &ctx)?,
-            ExecMode::Direct => executor.execute_direct_traced(&self.table, query, &ctx)?,
+        let exact = match self.mode {
+            ExecMode::Bdas => executor.execute_bdas_traced(&self.table, query, &ctx),
+            ExecMode::Direct => executor.execute_direct_traced(&self.table, query, &ctx),
+        };
+        let outcome = match exact {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                if let (true, Some(pred)) = (self.degraded_fallback, prediction) {
+                    if self.telemetry.is_enabled() {
+                        span.tag("branch", "degraded");
+                    }
+                    self.telemetry.incr("query.degraded", 1);
+                    self.telemetry.event(
+                        "agent.degraded",
+                        &[
+                            ("est_error", pred.estimated_error.into()),
+                            ("error", err.to_string().into()),
+                        ],
+                    );
+                    return Ok(ProcessOutcome {
+                        answer: pred.answer,
+                        cost: CostReport::zero(),
+                        source: AnswerSource::Degraded {
+                            estimated_error: pred.estimated_error,
+                        },
+                    });
+                }
+                return Err(err);
+            }
         };
         span.record_sim_us(outcome.cost.wall_us);
         self.agent.train(query, &outcome.answer)?;
@@ -241,13 +296,17 @@ impl AgentPipeline {
         // event stream, same audit cadence as `process`).
         enum Planned {
             Predicted(ProcessOutcome),
-            Exact,
+            /// Exact execution pending; carries the (unconfident)
+            /// prediction, if any, so a failed execution can degrade to
+            /// it instead of erroring when the pipeline opts in.
+            Exact(Option<(AnswerValue, f64)>),
         }
         let mut plan: Vec<Planned> = Vec::with_capacity(queries.len());
         let mut pending: Vec<usize> = Vec::new();
         for (i, query) in queries.iter().enumerate() {
             let mut fallback_reason = "untrained";
             let mut fallback_est_error = -1.0;
+            let mut fallback_pred = None;
             let mut planned = None;
             if let Ok(pred) = self.agent.predict(query) {
                 let audit_due = self.refresh_every > 0
@@ -277,6 +336,7 @@ impl AgentPipeline {
                         "error_above_threshold"
                     };
                     fallback_est_error = pred.estimated_error;
+                    fallback_pred = Some((pred.answer, pred.estimated_error));
                 }
             }
             plan.push(planned.unwrap_or_else(|| {
@@ -290,7 +350,7 @@ impl AgentPipeline {
                 );
                 self.predictions_since_audit = 0;
                 pending.push(i);
-                Planned::Exact
+                Planned::Exact(fallback_pred)
             }));
         }
 
@@ -316,8 +376,30 @@ impl AgentPipeline {
             .zip(queries)
             .map(|(planned, query)| match planned {
                 Planned::Predicted(outcome) => Ok(outcome),
-                Planned::Exact => {
-                    let outcome = exact_iter.next().expect("one result per pending query")?;
+                Planned::Exact(pred) => {
+                    let outcome = match exact_iter.next().expect("one result per pending query") {
+                        Ok(outcome) => outcome,
+                        Err(err) => {
+                            if let (true, Some((answer, estimated_error))) =
+                                (self.degraded_fallback, pred)
+                            {
+                                self.telemetry.incr("query.degraded", 1);
+                                self.telemetry.event(
+                                    "agent.degraded",
+                                    &[
+                                        ("est_error", estimated_error.into()),
+                                        ("error", err.to_string().into()),
+                                    ],
+                                );
+                                return Ok(ProcessOutcome {
+                                    answer,
+                                    cost: CostReport::zero(),
+                                    source: AnswerSource::Degraded { estimated_error },
+                                });
+                            }
+                            return Err(err);
+                        }
+                    };
                     self.agent.train(query, &outcome.answer)?;
                     self.telemetry.event(
                         "agent.trained",
@@ -379,6 +461,7 @@ mod tests {
                     predicted += 1;
                     assert_eq!(out.cost, CostReport::zero());
                 }
+                AnswerSource::Degraded { .. } => panic!("no faults injected"),
             }
         }
         assert!(
@@ -561,6 +644,86 @@ mod tests {
             pipe.agent().stats().training_queries,
             2,
             "the failed query must not train the agent"
+        );
+    }
+
+    #[test]
+    fn degraded_fallback_serves_predictions_when_exact_execution_fails() {
+        use sea_storage::FaultPlan;
+        use sea_telemetry::TelemetrySink;
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let sink = TelemetrySink::recording();
+        // Threshold 0 keeps every query on the exact path while the agent
+        // still produces (unconfident) predictions after warmup.
+        let mut pipe = AgentPipeline::new(2, AgentConfig::default(), "t", 0.0, ExecMode::Bdas)
+            .unwrap()
+            .with_degraded_fallback(true)
+            .with_telemetry(sink.clone());
+        for i in 0..40 {
+            pipe.process(&exec, &query(50.0, 50.0, 3.0 + (i % 10) as f64 * 0.3))
+                .unwrap();
+        }
+        let trained = pipe.agent().stats().training_queries;
+
+        // Same data, but node 0 crashes on its first scan and there are
+        // no replicas: exact execution fails.
+        let mut faulted = cluster();
+        faulted.set_fault_plan(FaultPlan::new(7).with_crash(0, 0));
+        let exec2 = Executor::new(&faulted);
+        let out = pipe.process(&exec2, &query(50.0, 50.0, 4.0)).unwrap();
+        assert!(
+            matches!(out.source, AnswerSource::Degraded { .. }),
+            "served the model's answer: {:?}",
+            out.source
+        );
+        assert_eq!(out.cost, CostReport::zero());
+        assert_eq!(
+            pipe.agent().stats().training_queries,
+            trained,
+            "degraded answers never train the agent"
+        );
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.counter("query.degraded"), 1);
+        assert_eq!(snap.event_count("agent.degraded"), 1);
+
+        // Without the opt-in the same failure is an error.
+        let mut strict =
+            AgentPipeline::new(2, AgentConfig::default(), "t", 0.0, ExecMode::Bdas).unwrap();
+        for i in 0..40 {
+            strict
+                .process(&exec, &query(50.0, 50.0, 3.0 + (i % 10) as f64 * 0.3))
+                .unwrap();
+        }
+        assert!(strict.process(&exec2, &query(50.0, 50.0, 4.0)).is_err());
+    }
+
+    #[test]
+    fn batch_degraded_fallback_stays_in_its_slot() {
+        use sea_storage::FaultPlan;
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let mut pipe = AgentPipeline::new(2, AgentConfig::default(), "t", 0.0, ExecMode::Bdas)
+            .unwrap()
+            .with_degraded_fallback(true);
+        for i in 0..40 {
+            pipe.process(&exec, &query(50.0, 50.0, 3.0 + (i % 10) as f64 * 0.3))
+                .unwrap();
+        }
+        let trained = pipe.agent().stats().training_queries;
+        let mut faulted = cluster();
+        faulted.set_fault_plan(FaultPlan::new(7).with_crash(0, 0));
+        let exec2 = Executor::new(&faulted);
+        let queries = vec![query(50.0, 50.0, 4.0), query(52.0, 50.0, 4.0)];
+        let outcomes = pipe.process_batch(&exec2, &queries);
+        for out in &outcomes {
+            let out = out.as_ref().expect("degraded, not failed");
+            assert!(matches!(out.source, AnswerSource::Degraded { .. }));
+        }
+        assert_eq!(
+            pipe.agent().stats().training_queries,
+            trained,
+            "degraded answers never train the agent"
         );
     }
 

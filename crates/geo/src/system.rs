@@ -2,7 +2,7 @@
 
 use sea_common::{AnalyticalQuery, AnswerValue, CostModel, CostReport, Rect, Result, SeaError};
 use sea_core::agent::{AgentConfig, SeaAgent};
-use sea_query::Executor;
+use sea_query::{Executor, RetryPolicy};
 use sea_storage::StorageCluster;
 use sea_telemetry::TelemetrySink;
 
@@ -104,6 +104,10 @@ pub struct GeoSystem<'a> {
     master: SeaAgent,
     config: GeoConfig,
     cost_model: CostModel,
+    /// Edge→core WAN retry policy: a transient core failure (the core's
+    /// own node-level retries exhausted) is resubmitted over the WAN,
+    /// paying a fresh round trip plus simulated backoff per attempt.
+    wan_retry: RetryPolicy,
     stats: GeoStats,
     /// Inherited from the cluster; `geo.*` spans and events flow here.
     telemetry: TelemetrySink,
@@ -134,6 +138,7 @@ impl<'a> GeoSystem<'a> {
             master: SeaAgent::new(dims, config.agent.clone())?,
             config,
             cost_model: CostModel::default(),
+            wan_retry: RetryPolicy::default(),
             stats: GeoStats {
                 queries: 0,
                 edge_answered: 0,
@@ -144,6 +149,24 @@ impl<'a> GeoSystem<'a> {
             },
             telemetry: cluster.telemetry().clone(),
         })
+    }
+
+    /// Overrides the edge→core WAN retry policy. Each retry resubmits the
+    /// query after a transient core failure, charging one extra WAN round
+    /// trip plus the policy's (doubling) simulated backoff.
+    #[must_use]
+    pub fn with_wan_retry(mut self, policy: RetryPolicy) -> Self {
+        self.wan_retry = policy;
+        self
+    }
+
+    /// Reconfigures the core executor's node-level retry policy — the
+    /// WAN-level retry of [`GeoSystem::with_wan_retry`] only engages once
+    /// the core has exhausted these.
+    #[must_use]
+    pub fn with_core_retry(mut self, policy: RetryPolicy) -> Self {
+        self.executor = self.executor.clone().with_retry_policy(policy);
+        self
     }
 
     /// The system's telemetry sink (inherited from the cluster).
@@ -228,20 +251,43 @@ impl<'a> GeoSystem<'a> {
         let escalate = self
             .telemetry
             .span_child_of(&span.ctx(), "geo.core.escalate");
-        let core = self
-            .executor
-            .execute_direct_traced(&self.table, query, &escalate.ctx())?;
-        let wan_bytes = query_bytes + answer_bytes;
-        let wan_us =
-            2.0 * self.cost_model.wan_msg_us + wan_bytes as f64 * self.cost_model.wan_byte_us;
+        let round_trip_bytes = query_bytes + answer_bytes;
+        let round_trip_us = 2.0 * self.cost_model.wan_msg_us
+            + round_trip_bytes as f64 * self.cost_model.wan_byte_us;
+        let mut retries = 0u32;
+        let mut retry_us = 0.0;
+        let core = loop {
+            match self
+                .executor
+                .execute_direct_traced(&self.table, query, &escalate.ctx())
+            {
+                Ok(out) => break out,
+                Err(ref e) if e.is_transient() && retries < self.wan_retry.max_retries => {
+                    // The failed attempt still crossed the WAN both ways;
+                    // the edge backs off and resubmits.
+                    retry_us += round_trip_us + self.wan_retry.backoff_us(retries) as f64;
+                    retries += 1;
+                    self.telemetry.incr("query.retries", 1);
+                    self.telemetry.event(
+                        "geo.core_retried",
+                        &[("edge", edge.into()), ("retry", retries.into())],
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let wan_trips = 1 + u64::from(retries);
+        let wan_bytes = round_trip_bytes * wan_trips;
+        let wan_us = round_trip_us + retry_us;
         let response_us = EDGE_PREDICT_US + wan_us + core.cost.wall_us;
         escalate.record_sim_us(wan_us + core.cost.wall_us);
         if self.telemetry.is_enabled() {
             escalate.tag("wan_bytes", wan_bytes);
+            escalate.tag("retries", retries);
             span.tag("source", "core_exact");
             self.telemetry.incr("geo.core_answered", 1);
             self.telemetry.incr("geo.wan_bytes", wan_bytes);
-            self.telemetry.incr("geo.wan_msgs", 2);
+            self.telemetry.incr("geo.wan_msgs", 2 * wan_trips);
             self.telemetry.event(
                 "geo.core_escalated",
                 &[("edge", edge.into()), ("wan_bytes", wan_bytes.into())],
@@ -260,7 +306,7 @@ impl<'a> GeoSystem<'a> {
         self.stats.queries += 1;
         self.stats.core_answered += 1;
         self.stats.wan_bytes += wan_bytes;
-        self.stats.wan_msgs += 2;
+        self.stats.wan_msgs += 2 * wan_trips;
         self.stats.total_response_us += response_us;
         // The escalation span carries the WAN + core cost; only the local
         // predict attempt is this span's own share.
@@ -384,17 +430,35 @@ impl<'a> GeoSystem<'a> {
         let span = self.telemetry.span("geo.core.submit");
         let query_bytes = 16 * query.region.dims() as u64 + 32;
         let answer_bytes = 24u64;
-        let core = self
-            .executor
-            .execute_direct_traced(&self.table, query, &span.ctx())?;
-        let wan_bytes = query_bytes + answer_bytes;
-        let wan_us =
-            2.0 * self.cost_model.wan_msg_us + wan_bytes as f64 * self.cost_model.wan_byte_us;
+        let round_trip_bytes = query_bytes + answer_bytes;
+        let round_trip_us = 2.0 * self.cost_model.wan_msg_us
+            + round_trip_bytes as f64 * self.cost_model.wan_byte_us;
+        let mut retries = 0u32;
+        let mut retry_us = 0.0;
+        let core = loop {
+            match self
+                .executor
+                .execute_direct_traced(&self.table, query, &span.ctx())
+            {
+                Ok(out) => break out,
+                Err(ref e) if e.is_transient() && retries < self.wan_retry.max_retries => {
+                    retry_us += round_trip_us + self.wan_retry.backoff_us(retries) as f64;
+                    retries += 1;
+                    self.telemetry.incr("query.retries", 1);
+                    self.telemetry
+                        .event("geo.core_retried", &[("retry", retries.into())]);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let wan_trips = 1 + u64::from(retries);
+        let wan_bytes = round_trip_bytes * wan_trips;
+        let wan_us = round_trip_us + retry_us;
         let response_us = wan_us + core.cost.wall_us;
         self.stats.queries += 1;
         self.stats.core_answered += 1;
         self.stats.wan_bytes += wan_bytes;
-        self.stats.wan_msgs += 2;
+        self.stats.wan_msgs += 2 * wan_trips;
         self.stats.total_response_us += response_us;
         // The executor subtree carries the core cost; the WAN hop is
         // this span's own share.
@@ -402,7 +466,7 @@ impl<'a> GeoSystem<'a> {
         if self.telemetry.is_enabled() {
             self.telemetry.incr("geo.core_answered", 1);
             self.telemetry.incr("geo.wan_bytes", wan_bytes);
-            self.telemetry.incr("geo.wan_msgs", 2);
+            self.telemetry.incr("geo.wan_msgs", 2 * wan_trips);
         }
         Ok(GeoOutcome {
             answer: core.answer,
@@ -701,6 +765,61 @@ mod tests {
         assert!(escalate.sim_us > 0.0, "WAN + core cost attributed");
         assert_eq!(snap.event_count("geo.core_escalated"), 1);
         assert!(snap.counter("geo.wan_bytes") > 0);
+    }
+
+    #[test]
+    fn transient_core_faults_are_retried_over_the_wan() {
+        use sea_storage::FaultPlan;
+        let mut c = StorageCluster::new(1, 256);
+        let records: Vec<Record> = (0..2_000)
+            .map(|i| Record::new(i, vec![(i % 100) as f64, (i / 100) as f64]))
+            .collect();
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        let truth = Executor::new(&c)
+            .execute_direct("t", &query(50.0, 5.0))
+            .unwrap()
+            .answer;
+        let sink = TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        c.set_fault_plan(FaultPlan::new(11).with_transient(0.5, 1));
+        // Disable the core's node-level retries so transients surface to
+        // the edge, and give the WAN layer a generous budget.
+        let mut geo = GeoSystem::new(&c, "t", GeoConfig::default())
+            .unwrap()
+            .with_core_retry(RetryPolicy::none())
+            .with_wan_retry(RetryPolicy {
+                max_retries: 16,
+                backoff_base_us: 1_000,
+            });
+        let out = geo.submit(0, &query(50.0, 5.0)).unwrap();
+        assert_eq!(out.answer, truth, "retries converge on the exact answer");
+        let snap = sink.snapshot().unwrap();
+        assert!(snap.counter("query.retries") >= 1, "at least one WAN retry");
+        assert!(snap.event_count("geo.core_retried") >= 1);
+        // One round trip is 2 msgs and 88 bytes for this query shape; the
+        // failed trips are billed on top.
+        assert!(
+            geo.stats().wan_msgs > 2,
+            "failed round trips are billed: {} msgs",
+            geo.stats().wan_msgs
+        );
+        assert!(out.wan_bytes > 88, "retries move bytes: {}", out.wan_bytes);
+
+        // A policy with no WAN retries propagates the transient error.
+        let mut c2 = StorageCluster::new(1, 256);
+        let records: Vec<Record> = (0..2_000)
+            .map(|i| Record::new(i, vec![(i % 100) as f64, (i / 100) as f64]))
+            .collect();
+        c2.load_table("t", records, Partitioning::Hash).unwrap();
+        c2.set_fault_plan(FaultPlan::new(11).with_transient(0.5, 1));
+        let mut strict = GeoSystem::new(&c2, "t", GeoConfig::default())
+            .unwrap()
+            .with_core_retry(RetryPolicy::none())
+            .with_wan_retry(RetryPolicy::none());
+        assert!(matches!(
+            strict.submit(0, &query(50.0, 5.0)),
+            Err(SeaError::Transient(_))
+        ));
     }
 
     #[test]

@@ -32,7 +32,9 @@ fn observed_distance(probe: &Record, donor: &Record) -> Option<f64> {
 
 /// Fills `probe`'s NaN dimensions with the mean of the k nearest donors.
 fn fill_from(probe: &Record, mut donors: Vec<(&Record, f64)>, k: usize) -> Record {
-    donors.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"));
+    // total_cmp (NaN-safe) with a donor-id tie-break: equidistant donors
+    // truncate to the same k-set regardless of input order.
+    donors.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
     donors.truncate(k);
     let mut out = probe.clone();
     for d in 0..out.values.len() {
@@ -317,6 +319,24 @@ mod tests {
         let probe = vec![Record::new(9, vec![1.5, f64::NAN])];
         let out = fullscan_impute(&c, "t", &probe, 2, &model).unwrap();
         assert!(out.imputed[0].value(1).is_nan(), "no donor has the value");
+    }
+
+    #[test]
+    fn equidistant_donors_break_ties_by_id() {
+        // Two donors at the same distance but different values: the id
+        // tie-break makes the k=1 choice deterministic regardless of the
+        // order the scan returned them in.
+        let mut c = StorageCluster::new(2, 16);
+        let records = vec![
+            Record::new(5, vec![2.0, 20.0]),
+            Record::new(3, vec![0.0, 30.0]),
+        ];
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        let model = CostModel::default();
+        let probe = vec![Record::new(9, vec![1.0, f64::NAN])];
+        let out = fullscan_impute(&c, "t", &probe, 1, &model).unwrap();
+        let v = out.imputed[0].value(1);
+        assert!((v - 30.0).abs() < 1e-9, "lowest-id donor wins the tie: {v}");
     }
 
     #[test]

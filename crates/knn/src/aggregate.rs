@@ -115,7 +115,7 @@ mod tests {
                 (dist, r.value(2))
             })
             .collect();
-        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         let want: f64 = d[..9].iter().map(|(_, v)| v).sum::<f64>() / 9.0;
         let got = out.answer.as_scalar().unwrap();
         assert!((got - want).abs() < 1e-9, "got {got}, want {want}");

@@ -87,7 +87,9 @@ impl KnnClassifier {
             })
             .collect();
         let k = self.k.min(d.len());
-        d.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        // total_cmp (NaN-safe) with a label tie-break so equidistant
+        // neighbours partition deterministically.
+        d.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut votes: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
         for (_, l) in &d[..k] {
             *votes.entry(*l).or_default() += 1;
@@ -172,6 +174,18 @@ mod tests {
         assert!(KnnClassifier::new(2, 0).is_err());
         assert!(KnnClassifier::fit(&[], &[], 3).is_err());
         assert!(m.accuracy(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn nan_features_never_panic_and_lose_to_finite_neighbours() {
+        let xs = vec![vec![0.0], vec![1.0], vec![f64::NAN]];
+        let ls = vec![0, 0, 9];
+        let m = KnnClassifier::fit(&xs, &ls, 2).unwrap();
+        // NaN distance sorts last under total_cmp: the finite blob wins.
+        assert_eq!(m.predict(&[0.5]), Some(0));
+        // A NaN probe makes every distance NaN; the vote still resolves
+        // deterministically instead of panicking.
+        assert!(m.predict(&[f64::NAN]).is_some());
     }
 
     #[test]

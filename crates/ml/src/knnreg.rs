@@ -109,7 +109,9 @@ impl KnnRegressor {
             })
             .collect();
         let k = self.k.min(d.len());
-        d.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        // total_cmp (NaN-safe) with a value tie-break so equidistant
+        // neighbours partition deterministically.
+        d.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         let neighbours = &d[..k];
         // Inverse-distance weights with an epsilon guard; an exact match
         // dominates completely.
@@ -190,6 +192,27 @@ mod tests {
         // k=2 but only 1 stored: still answers.
         assert!((m.predict(&[0.1]) - 5.0).abs() < 1e-6);
         assert!(m.push(&[0.0, 1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn nan_training_points_never_panic_and_lose_to_finite_neighbours() {
+        let xs = vec![vec![0.0], vec![10.0], vec![f64::NAN]];
+        let ys = vec![0.0, 100.0, 1e9];
+        let m = KnnRegressor::fit(&xs, &ys, 2).unwrap();
+        // The NaN point's distance is NaN; total_cmp sorts it after every
+        // finite distance, so the two finite neighbours answer.
+        let mid = m.predict(&[5.0]);
+        assert!((mid - 50.0).abs() < 1.0, "got {mid}");
+        // A NaN probe can't be ranked meaningfully, but it must not panic.
+        let (y, _) = m.predict_with_distance(&[f64::NAN]).unwrap();
+        assert!(!y.is_infinite());
+    }
+
+    #[test]
+    fn empty_store_predicts_neutrally() {
+        let m = KnnRegressor::new(1, 3).unwrap();
+        assert!(m.predict_with_distance(&[1.0]).is_none());
+        assert_eq!(m.predict(&[1.0]), 0.0);
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl PiecewiseLinear {
         }
         let min_points = min_points.max(2);
         let mut pairs: Vec<(f64, f64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        // total_cmp (NaN-safe) with a y tie-break: duplicate x values keep
+        // a deterministic order, so segment cuts don't depend on input order.
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
 
         // Recursive greedy splitting over index ranges.
         let mut ranges = vec![(0usize, pairs.len())];
@@ -191,6 +193,17 @@ fn sse(pairs: &[(f64, f64)]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nan_x_values_never_panic_the_fit() {
+        let xs = vec![0.0, 1.0, 2.0, f64::NAN, 4.0, 5.0];
+        let ys = vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+        // total_cmp sorts the NaN to the end; the fit completes and the
+        // finite prefix still evaluates.
+        let m = PiecewiseLinear::fit(&xs, &ys, 4, 2, 1e-9).unwrap();
+        assert!(!m.segments().is_empty());
+        let _ = m.eval(1.5);
+    }
 
     #[test]
     fn single_line_fits_one_segment() {

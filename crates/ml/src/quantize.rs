@@ -49,7 +49,7 @@ impl KMeans {
                 .max_by(|a, b| {
                     let da = nearest_dist_sq(a, &centroids);
                     let db = nearest_dist_sq(b, &centroids);
-                    da.partial_cmp(&db).expect("finite")
+                    da.total_cmp(&db)
                 })
                 .expect("non-empty");
             centroids.push(far.clone());
@@ -329,10 +329,20 @@ mod tests {
         let pts = two_clusters();
         let km = KMeans::fit(&pts, 2, 50).unwrap();
         let mut cs = km.centroids().to_vec();
-        cs.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        cs.sort_by(|a, b| a[0].total_cmp(&b[0]));
         assert!(cs[0][0].abs() < 0.5, "{cs:?}");
         assert!((cs[1][0] - 10.0).abs() < 0.5, "{cs:?}");
         assert!(km.inertia(&pts).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn kmeans_survives_nan_points() {
+        let mut pts = two_clusters();
+        pts.push(vec![f64::NAN, 0.0]);
+        // Farthest-point seeding compares NaN distances via total_cmp and
+        // the assignment loop treats NaN as never-nearer: no panic.
+        let km = KMeans::fit(&pts, 2, 20).unwrap();
+        assert_eq!(km.centroids().len(), 2);
     }
 
     #[test]

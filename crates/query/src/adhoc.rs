@@ -179,7 +179,9 @@ pub fn classify_subspace(
             })
             .collect();
         let kk = k.min(dists.len());
-        dists.select_nth_unstable_by(kk - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        // total_cmp (NaN-safe) with a label tie-break so equidistant
+        // candidates partition deterministically.
+        dists.select_nth_unstable_by(kk - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         // Majority vote over the k nearest.
         let mut votes: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
         for (_, label) in &dists[..kk] {
@@ -237,7 +239,7 @@ mod tests {
         let out = cluster_subspace(&c, "t", &region, 2, &model).unwrap();
         assert!(out.records_in_subspace > 100);
         let mut xs: Vec<f64> = out.output.centroids().iter().map(|c| c[0]).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         assert!(xs[0] < 50.0 && xs[1] >= 40.0, "separated blobs: {xs:?}");
         assert!(out.cost.wall_us > 0.0);
     }
@@ -283,6 +285,19 @@ mod tests {
     }
 
     #[test]
+    fn nan_probes_classify_without_panicking() {
+        let c = cluster_with_data();
+        let model = CostModel::default();
+        // Every distance to a NaN probe is NaN; total_cmp + the label
+        // tie-break still produce a deterministic majority vote.
+        let probes = vec![vec![f64::NAN, 10.0, 30.0]];
+        let out = classify_subspace(&c, "t", &whole_region(), 3, &probes, 5, &model).unwrap();
+        assert_eq!(out.output.len(), 1);
+        let again = classify_subspace(&c, "t", &whole_region(), 3, &probes, 5, &model).unwrap();
+        assert_eq!(out.output, again.output);
+    }
+
+    #[test]
     fn validations() {
         let c = cluster_with_data();
         let model = CostModel::default();
@@ -290,6 +305,11 @@ mod tests {
             Rect::new(vec![-10.0, -10.0, 0.0, 0.0], vec![-5.0, -5.0, 1.0, 1.0]).unwrap(),
         );
         assert!(cluster_subspace(&c, "t", &empty, 2, &model).is_err());
+        // Empty subspace: typed error, not a select_nth underflow panic.
+        assert!(matches!(
+            classify_subspace(&c, "t", &empty, 3, &[vec![1.0; 3]], 5, &model),
+            Err(sea_common::SeaError::Empty(_))
+        ));
         assert!(regress_subspace(&c, "t", &whole_region(), 9, &model).is_err());
         assert!(classify_subspace(&c, "t", &whole_region(), 3, &[vec![1.0]], 5, &model).is_err());
         assert!(

@@ -10,7 +10,7 @@
 
 use sea_common::{
     AggregateKind, AnalyticalQuery, AnswerValue, BivariateStats, CostMeter, CostModel, CostReport,
-    Record, Rect, Result,
+    Record, Rect, Result, SeaError,
 };
 use sea_storage::{NodeId, ScanStats, StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
 use sea_telemetry::{TelemetrySink, TraceContext};
@@ -64,13 +64,63 @@ impl Partial {
     }
 }
 
+/// Bounded retry with exponential simulated backoff for transient scan
+/// faults. Backoff is *simulated* time charged to the node's meter (the
+/// coordinator never sleeps), so retrying has a visible cost in every
+/// [`CostReport`] and the determinism contract holds: retries happen on
+/// the node's own worker, consuming that node's fault-plan operations in
+/// sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Simulated backoff before the first retry; doubles each retry.
+    pub backoff_base_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Three retries ride out the default fault plans' recovery
+        // windows; 10 ms base keeps the backoff on the same scale as a
+        // disk seek.
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_us: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_us: 0,
+        }
+    }
+
+    /// Simulated backoff before retry number `retry` (0-based).
+    pub fn backoff_us(&self, retry: u32) -> u64 {
+        self.backoff_base_us.saturating_mul(1u64 << retry.min(20))
+    }
+}
+
 /// What one scatter worker brings back from its node: pure data, a
-/// private cost meter, and the scan statistics the coordinator needs to
-/// replay the node's telemetry afterwards.
+/// private cost meter, the scan statistics the coordinator needs to
+/// replay the node's telemetry afterwards, and the fault handling the
+/// worker performed (replayed as counters/events in node order).
 struct NodeScan {
-    partial: Partial,
+    /// The node's partial aggregate; `None` when the partition was
+    /// unavailable and the executor runs in partial-answer mode.
+    partial: Option<Partial>,
     meter: CostMeter,
     stats: ScanStats,
+    /// Transient-fault retries this scan needed.
+    retries: u32,
+    /// Whether the scan was served by a replica (primary down/crashed).
+    failover: bool,
+    /// Whether the partition could not be served at all.
+    unavailable: bool,
 }
 
 /// Stateless executor over a [`StorageCluster`].
@@ -80,6 +130,8 @@ pub struct Executor<'a> {
     cost_model: CostModel,
     telemetry: TelemetrySink,
     pool: ExecPool,
+    retry: RetryPolicy,
+    partial_answers: bool,
 }
 
 impl<'a> Executor<'a> {
@@ -93,6 +145,8 @@ impl<'a> Executor<'a> {
             cost_model: CostModel::default(),
             telemetry: cluster.telemetry().clone(),
             pool: ExecPool::global(),
+            retry: RetryPolicy::default(),
+            partial_answers: false,
         }
     }
 
@@ -103,6 +157,8 @@ impl<'a> Executor<'a> {
             cost_model,
             telemetry: cluster.telemetry().clone(),
             pool: ExecPool::global(),
+            retry: RetryPolicy::default(),
+            partial_answers: false,
         }
     }
 
@@ -120,6 +176,26 @@ impl<'a> Executor<'a> {
     #[must_use]
     pub fn with_pool(mut self, pool: ExecPool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Overrides the transient-fault retry policy (defaults to
+    /// [`RetryPolicy::default`]).
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Opts into partial answers: a partition that stays unavailable
+    /// after retries (node down, no live replica) is *skipped* instead
+    /// of failing the query, and the outcome's
+    /// [`CostReport::answered_fraction`] / `nodes_unavailable` report
+    /// the degradation. Off by default — the executor is loud, not
+    /// wrong, unless the caller explicitly accepts the trade.
+    #[must_use]
+    pub fn with_partial_answers(mut self, on: bool) -> Self {
+        self.partial_answers = on;
         self
     }
 
@@ -172,7 +248,7 @@ impl<'a> Executor<'a> {
         self.telemetry.incr("query.executor.bdas_queries", 1);
         query.aggregate.validate(self.cluster.dims(table)?)?;
         let nodes: Vec<NodeId> = (0..self.cluster.num_nodes()).collect();
-        let (partials, node_meters) = {
+        let (partials, node_meters, unavailable) = {
             let scatter = self.telemetry.span("query.executor.scatter");
             let scans = self.scatter_scans(table, query, &nodes, BDAS_LAYERS, None)?;
             let out = self.replay_scatter(table, &nodes, "full", &scatter.ctx(), scans);
@@ -193,7 +269,8 @@ impl<'a> Executor<'a> {
         let mut coord = CostMeter::new();
         coord.charge_cpu(partials.len() as u64);
         let answer = merge_partials(&query.aggregate, partials)?;
-        let cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
+        let mut cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
+        Self::note_availability(&mut cost, nodes.len(), unavailable);
         gather.record_sim_us(coord.sequential_us(&self.cost_model));
         drop(gather);
         Ok(QueryOutcome { answer, cost })
@@ -231,7 +308,7 @@ impl<'a> Executor<'a> {
         let bbox = query.region.bounding_rect();
         let candidates = self.cluster.nodes_for_region(table, &bbox)?;
         let mut coord = CostMeter::new();
-        let (partials, node_meters) = {
+        let (partials, node_meters, unavailable) = {
             let scatter = self.telemetry.span("query.executor.scatter");
             // One request message per engaged node. The fan-out is part
             // of the scatter phase, so its simulated time lands on the
@@ -260,7 +337,8 @@ impl<'a> Executor<'a> {
         merge_only.charge_cpu(partials.len() as u64);
         coord.charge_cpu(partials.len() as u64);
         let answer = merge_partials(&query.aggregate, partials)?;
-        let cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
+        let mut cost = coord.report_parallel(node_meters.iter(), &self.cost_model);
+        Self::note_availability(&mut cost, candidates.len(), unavailable);
         gather.record_sim_us(merge_only.sequential_us(&self.cost_model));
         drop(gather);
         Ok(QueryOutcome { answer, cost })
@@ -271,6 +349,15 @@ impl<'a> Executor<'a> {
     /// back in node-index order with the first error (in node order)
     /// propagated. `bbox` selects the access path: `None` scans every
     /// block (BDAS), `Some` uses zone-map pruned region scans (direct).
+    ///
+    /// Each worker retries transient faults per the executor's
+    /// [`RetryPolicy`], charging exponential simulated backoff to the
+    /// node's meter. Retries stay on the node's own worker, so the
+    /// per-node fault-plan operation sequence — and therefore every
+    /// observable output — is independent of the pool size. In
+    /// partial-answer mode a partition that stays unavailable
+    /// ([`SeaError::Storage`]/[`SeaError::Transient`] after retries)
+    /// yields an `unavailable` scan instead of an error.
     fn scatter_scans(
         &self,
         table: &str,
@@ -284,26 +371,66 @@ impl<'a> Executor<'a> {
                 let node = nodes[i];
                 let mut meter = CostMeter::new();
                 meter.touch_node(layers);
-                let (records, stats) = match bbox {
-                    None => self.cluster.scan_node_stats(table, node, &mut meter)?,
-                    Some(b) => self
-                        .cluster
-                        .scan_node_region_stats(table, node, b, &mut meter)?,
-                };
-                let matched: Vec<&Record> = records
-                    .into_iter()
-                    .filter(|r| query.region.contains_record(r))
-                    .collect();
-                let partial = make_partial(&query.aggregate, &matched);
-                meter.charge_lan(partial.wire_bytes());
-                Ok(NodeScan {
-                    partial,
-                    meter,
-                    stats,
-                })
+                let mut retries = 0u32;
+                loop {
+                    let scanned = match bbox {
+                        None => self.cluster.scan_node_stats(table, node, &mut meter),
+                        Some(b) => self
+                            .cluster
+                            .scan_node_region_stats(table, node, b, &mut meter),
+                    };
+                    match scanned {
+                        Ok((records, stats)) => {
+                            let matched: Vec<&Record> = records
+                                .into_iter()
+                                .filter(|r| query.region.contains_record(r))
+                                .collect();
+                            let partial = make_partial(&query.aggregate, &matched);
+                            meter.charge_lan(partial.wire_bytes());
+                            return Ok(NodeScan {
+                                partial: Some(partial),
+                                meter,
+                                stats,
+                                retries,
+                                failover: self.cluster.primary_down(node),
+                                unavailable: false,
+                            });
+                        }
+                        Err(ref e) if e.is_transient() && retries < self.retry.max_retries => {
+                            meter.charge_backoff(self.retry.backoff_us(retries));
+                            retries += 1;
+                        }
+                        Err(SeaError::Storage(_) | SeaError::Transient(_))
+                            if self.partial_answers =>
+                        {
+                            // The partition is out of reach; degrade
+                            // instead of failing the whole query. Other
+                            // error kinds (missing table, bad dims) are
+                            // caller bugs and still propagate.
+                            return Ok(NodeScan {
+                                partial: None,
+                                meter,
+                                stats: ScanStats::default(),
+                                retries,
+                                failover: false,
+                                unavailable: true,
+                            });
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
             })
             .into_iter()
             .collect()
+    }
+
+    /// Stamps a report with the scatter phase's availability outcome:
+    /// what fraction of the engaged partitions actually answered.
+    fn note_availability(cost: &mut CostReport, engaged: usize, unavailable: u64) {
+        if engaged > 0 && unavailable > 0 {
+            cost.answered_fraction = (engaged as u64 - unavailable) as f64 / engaged as f64;
+            cost.nodes_unavailable = unavailable;
+        }
     }
 
     /// Replays the telemetry of completed scatter scans in node-index
@@ -320,21 +447,47 @@ impl<'a> Executor<'a> {
         kind: &str,
         scatter_ctx: &TraceContext,
         scans: Vec<NodeScan>,
-    ) -> (Vec<Partial>, Vec<CostMeter>) {
+    ) -> (Vec<Partial>, Vec<CostMeter>, u64) {
         let mut partials = Vec::with_capacity(scans.len());
         let mut meters = Vec::with_capacity(scans.len());
+        let mut unavailable = 0u64;
         for (node, scan) in nodes.iter().zip(scans) {
             let node_span = self
                 .telemetry
                 .span_child_of(scatter_ctx, "query.executor.node");
             node_span.tag("node", *node);
-            self.cluster
-                .record_scan(table, *node, kind, &scan.stats, &node_span.ctx());
+            if scan.retries > 0 {
+                self.telemetry
+                    .incr("query.retries", u64::from(scan.retries));
+                self.telemetry.event(
+                    "query.node_retried",
+                    &[("node", (*node).into()), ("retries", scan.retries.into())],
+                );
+                node_span.tag("retries", scan.retries);
+            }
+            if scan.failover {
+                self.telemetry.incr("query.failovers", 1);
+                self.telemetry
+                    .event("query.node_failover", &[("node", (*node).into())]);
+                node_span.tag("failover", true);
+            }
+            if scan.unavailable {
+                unavailable += 1;
+                self.telemetry.incr("query.degraded", 1);
+                self.telemetry
+                    .event("query.node_unavailable", &[("node", (*node).into())]);
+                node_span.tag("unavailable", true);
+            } else {
+                self.cluster
+                    .record_scan(table, *node, kind, &scan.stats, &node_span.ctx());
+            }
             node_span.record_sim_us(scan.meter.sequential_us(&self.cost_model));
-            partials.push(scan.partial);
+            if let Some(partial) = scan.partial {
+                partials.push(partial);
+            }
             meters.push(scan.meter);
         }
-        (partials, meters)
+        (partials, meters, unavailable)
     }
 
     /// Executes many queries concurrently in the direct regime, fanning
@@ -910,6 +1063,128 @@ mod tests {
             (out.cost.wall_us - (coord.sequential_us(model) + node_sim)).abs() < 1e-9,
             "wall = coordinator + slowest node"
         );
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_charged_backoff() {
+        use sea_storage::FaultPlan;
+        let mut c = cluster();
+        let baseline = Executor::new(&c)
+            .execute_direct(
+                "t",
+                &count_query(vec![10.0, 0.0, 0.0], vec![60.0, 15.0, 6.0]),
+            )
+            .unwrap();
+        let sink = TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        c.set_fault_plan(FaultPlan::new(42).with_transient(0.5, 1));
+        let exec = Executor::new(&c);
+        let q = count_query(vec![10.0, 0.0, 0.0], vec![60.0, 15.0, 6.0]);
+        let out = exec.execute_direct("t", &q).unwrap();
+        assert_eq!(out.answer, baseline.answer, "retries recover the answer");
+        assert!(
+            out.cost.totals.backoff_us > 0,
+            "backoff is charged to the meter"
+        );
+        assert!(
+            out.cost.wall_us > baseline.cost.wall_us,
+            "fault recovery costs simulated time"
+        );
+        assert_eq!(out.cost.answered_fraction, 1.0);
+        let snap = sink.snapshot().unwrap();
+        assert!(snap.counter("query.retries") > 0);
+        assert!(snap.event_count("query.node_retried") > 0);
+    }
+
+    #[test]
+    fn crashed_node_fails_over_to_replica() {
+        use sea_storage::FaultPlan;
+        let mut c = StorageCluster::with_replication(4, 64);
+        let records: Vec<Record> = (0..2000)
+            .map(|i| Record::new(i, vec![(i % 100) as f64, (i / 100) as f64, (i % 7) as f64]))
+            .collect();
+        c.load_table("t", records, Partitioning::Hash).unwrap();
+        let baseline = Executor::new(&c)
+            .execute_bdas("t", &count_query(vec![0.0; 3], vec![100.0, 20.0, 6.0]))
+            .unwrap();
+        let sink = TelemetrySink::recording();
+        c.set_telemetry(sink.clone());
+        c.set_fault_plan(FaultPlan::new(7).with_crash(2, 0));
+        let exec = Executor::new(&c);
+        let q = count_query(vec![0.0; 3], vec![100.0, 20.0, 6.0]);
+        let out = exec.execute_bdas("t", &q).unwrap();
+        assert_eq!(out.answer, baseline.answer, "replica serves the partition");
+        assert_eq!(out.cost.answered_fraction, 1.0);
+        let snap = sink.snapshot().unwrap();
+        assert!(snap.counter("query.failovers") > 0);
+        assert!(snap.event_count("query.node_failover") > 0);
+    }
+
+    #[test]
+    fn unreplicated_crash_degrades_only_in_partial_answer_mode() {
+        use sea_storage::FaultPlan;
+        let mut c = cluster();
+        c.set_fault_plan(FaultPlan::new(3).with_crash(1, 0));
+        let q = count_query(vec![0.0; 3], vec![100.0, 20.0, 6.0]);
+
+        // Default executor: loud, not wrong.
+        let strict = Executor::new(&c);
+        assert!(matches!(
+            strict.execute_bdas("t", &q),
+            Err(SeaError::Storage(_))
+        ));
+
+        // Partial-answer mode: a degraded count plus the availability
+        // accounting, instead of an error.
+        let sink = TelemetrySink::recording();
+        let degraded = Executor::new(&c)
+            .with_telemetry(sink.clone())
+            .with_partial_answers(true);
+        let out = degraded.execute_bdas("t", &q).unwrap();
+        let AnswerValue::Scalar(got) = out.answer else {
+            panic!("scalar answer")
+        };
+        assert!(got > 0.0 && got < 2000.0, "partial count: {got}");
+        assert!(out.cost.answered_fraction < 1.0);
+        assert_eq!(out.cost.nodes_unavailable, 1);
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.counter("query.degraded"), 1);
+        assert_eq!(snap.event_count("query.node_unavailable"), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_propagate_the_transient_error() {
+        use sea_storage::FaultPlan;
+        let mut c = cluster();
+        c.set_fault_plan(FaultPlan::new(5).with_transient(1.0, 1));
+        let q = count_query(vec![0.0; 3], vec![100.0, 20.0, 6.0]);
+        let strict = Executor::new(&c).with_retry_policy(RetryPolicy::none());
+        assert!(matches!(
+            strict.execute_bdas("t", &q),
+            Err(SeaError::Transient(_))
+        ));
+
+        // With every scan failing, partial-answer mode reports a fully
+        // degraded (but well-typed) outcome.
+        let degraded = Executor::new(&c).with_partial_answers(true);
+        let out = degraded.execute_bdas("t", &q).unwrap();
+        assert_eq!(out.answer, AnswerValue::Scalar(0.0));
+        assert_eq!(out.cost.answered_fraction, 0.0);
+        assert_eq!(out.cost.nodes_unavailable, 4);
+    }
+
+    #[test]
+    fn no_fault_plan_changes_nothing() {
+        let c = cluster();
+        let q = count_query(vec![10.0, 0.0, 0.0], vec![60.0, 15.0, 6.0]);
+        let plain = Executor::new(&c).execute_direct("t", &q).unwrap();
+        let tolerant = Executor::new(&c)
+            .with_partial_answers(true)
+            .with_retry_policy(RetryPolicy::default())
+            .execute_direct("t", &q)
+            .unwrap();
+        assert_eq!(plain, tolerant, "fault tolerance is free when healthy");
+        assert_eq!(plain.cost.totals.backoff_us, 0);
     }
 
     #[test]

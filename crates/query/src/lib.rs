@@ -23,5 +23,5 @@ pub mod executor;
 pub mod pool;
 
 pub use adhoc::{classify_subspace, cluster_subspace, regress_subspace, AdHocOutcome};
-pub use executor::{Executor, QueryOutcome};
+pub use executor::{Executor, QueryOutcome, RetryPolicy};
 pub use pool::ExecPool;

@@ -1,12 +1,14 @@
 //! The simulated storage cluster: tables partitioned across data nodes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use sea_common::{CostMeter, Record, Rect, Result, SeaError};
 use sea_telemetry::{TelemetrySink, TraceContext};
 
+use crate::fault::{FaultDecision, FaultPlan, FaultState};
 use crate::node::DataNode;
 use crate::partition::{NodeId, Partitioning};
 
@@ -73,6 +75,11 @@ pub struct StorageCluster {
     /// cluster's persistent state; defaults to the no-op sink.
     #[serde(skip)]
     telemetry: TelemetrySink,
+    /// Installed fault-injection state (see [`crate::fault`]). Shared
+    /// across clones so one fault timeline governs an experiment; not
+    /// part of the persistent cluster image.
+    #[serde(skip)]
+    faults: Option<Arc<FaultState>>,
 }
 
 impl StorageCluster {
@@ -91,6 +98,7 @@ impl StorageCluster {
             down: vec![false; n_nodes],
             tables: HashMap::new(),
             telemetry: TelemetrySink::default(),
+            faults: None,
         }
     }
 
@@ -110,6 +118,7 @@ impl StorageCluster {
             down: vec![false; n_nodes],
             tables: HashMap::new(),
             telemetry: TelemetrySink::default(),
+            faults: None,
         }
     }
 
@@ -130,6 +139,49 @@ impl StorageCluster {
     /// [`StorageCluster::set_telemetry`] was called).
     pub fn telemetry(&self) -> &TelemetrySink {
         &self.telemetry
+    }
+
+    /// Installs a deterministic fault-injection plan (replacing any
+    /// previous one and resetting its operation counters). See
+    /// [`crate::fault`] for the determinism contract.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(Arc::new(FaultState::new(plan, self.n_nodes)));
+    }
+
+    /// Removes the installed fault plan; the cluster becomes fault-free
+    /// again (manually failed nodes stay failed).
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref().map(FaultState::plan)
+    }
+
+    /// Whether partition `node`'s primary is currently unable to serve —
+    /// manually failed or crashed by the fault plan. A successful scan of
+    /// such a partition was served by its replica (a failover).
+    pub fn primary_down(&self, node: NodeId) -> bool {
+        self.down.get(node).copied().unwrap_or(false)
+            || self.faults.as_ref().is_some_and(|f| f.crashed(node))
+    }
+
+    /// Consults the fault layer for one scan attempt against partition
+    /// `node`: advances the node's operation counter, latches plan
+    /// crashes, and either returns the latency multiplier to apply or a
+    /// [`SeaError::Transient`] for an injected transient fault. No-op
+    /// (multiplier 1.0) without an installed plan.
+    fn fault_gate(&self, node: NodeId) -> Result<f64> {
+        let Some(faults) = &self.faults else {
+            return Ok(1.0);
+        };
+        match faults.on_scan(node) {
+            FaultDecision::Proceed(multiplier) => Ok(multiplier),
+            FaultDecision::Transient => Err(SeaError::Transient(format!(
+                "injected fault: scan of partition {node} failed"
+            ))),
+        }
     }
 
     /// Marks node `node` as failed: reads of its partitions either fail
@@ -156,6 +208,9 @@ impl StorageCluster {
             return Err(SeaError::Storage(format!("node {node} out of range")));
         }
         self.down[node] = false;
+        if let Some(faults) = &self.faults {
+            faults.revive(node);
+        }
         Ok(())
     }
 
@@ -339,6 +394,7 @@ impl StorageCluster {
         meter: &mut CostMeter,
     ) -> Result<Vec<&'a Record>> {
         let meta = self.meta(name)?;
+        let slow = self.fault_gate(node)?;
         let n = self.serving_copy(meta, node)?;
         let span = self.telemetry.span_child_of(parent, "storage.node.scan");
         if self.telemetry.is_enabled() {
@@ -346,7 +402,7 @@ impl StorageCluster {
             span.tag("table", name);
             span.tag("kind", "full");
         }
-        let (records, stats) = n.scan_all_stats(meter);
+        let (records, stats) = Self::scan_scaled(meter, slow, |m| n.scan_all_stats(m));
         self.note_scan(name, node, "full", &stats);
         Ok(records)
     }
@@ -369,8 +425,9 @@ impl StorageCluster {
         meter: &mut CostMeter,
     ) -> Result<(Vec<&'a Record>, crate::node::ScanStats)> {
         let meta = self.meta(name)?;
+        let slow = self.fault_gate(node)?;
         let n = self.serving_copy(meta, node)?;
-        Ok(n.scan_all_stats(meter))
+        Ok(Self::scan_scaled(meter, slow, |m| n.scan_all_stats(m)))
     }
 
     /// Telemetry-free block-pruned scan (the quiet counterpart of
@@ -389,8 +446,11 @@ impl StorageCluster {
     ) -> Result<(Vec<&'a Record>, crate::node::ScanStats)> {
         let meta = self.meta(name)?;
         SeaError::check_dims(meta.dims, region.dims())?;
+        let slow = self.fault_gate(node)?;
         let n = self.serving_copy(meta, node)?;
-        Ok(n.scan_region_stats(region, meter))
+        Ok(Self::scan_scaled(meter, slow, |m| {
+            n.scan_region_stats(region, m)
+        }))
     }
 
     /// Replays the telemetry of one already-performed quiet scan
@@ -459,18 +519,35 @@ impl StorageCluster {
         if node >= self.n_nodes {
             return Err(SeaError::Storage(format!("node {node} out of range")));
         }
-        if !self.down[node] {
+        if !self.primary_down(node) {
             return Ok(&meta.nodes[node]);
         }
         if let Some(replicas) = &meta.replicas {
             let holder = (node + 1) % self.n_nodes;
-            if !self.down[holder] {
+            if !self.primary_down(holder) {
                 return Ok(&replicas[holder]);
             }
         }
         Err(SeaError::Storage(format!(
             "partition {node} unavailable: node down and no live replica"
         )))
+    }
+
+    /// Runs `scan` charging `meter`, scaling the scan's incremental cost
+    /// by `multiplier` (the fault plan's slow-node model: everything the
+    /// scan did takes `multiplier`× longer).
+    fn scan_scaled<T>(
+        meter: &mut CostMeter,
+        multiplier: f64,
+        scan: impl FnOnce(&mut CostMeter) -> T,
+    ) -> T {
+        if multiplier == 1.0 {
+            return scan(meter);
+        }
+        let mut local = CostMeter::new();
+        let out = scan(&mut local);
+        meter.merge_scaled(&local, multiplier);
+        out
     }
 
     /// Block-pruned scan of table `name` on node `node`, returning only
@@ -507,6 +584,7 @@ impl StorageCluster {
     ) -> Result<Vec<&'a Record>> {
         let meta = self.meta(name)?;
         SeaError::check_dims(meta.dims, region.dims())?;
+        let slow = self.fault_gate(node)?;
         let n = self.serving_copy(meta, node)?;
         let span = self.telemetry.span_child_of(parent, "storage.node.scan");
         if self.telemetry.is_enabled() {
@@ -514,7 +592,7 @@ impl StorageCluster {
             span.tag("table", name);
             span.tag("kind", "region");
         }
-        let (records, stats) = n.scan_region_stats(region, meter);
+        let (records, stats) = Self::scan_scaled(meter, slow, |m| n.scan_region_stats(region, m));
         self.note_scan(name, node, "region", &stats);
         Ok(records)
     }
@@ -895,6 +973,47 @@ mod replication_tests {
             assert_eq!(total_scanned(&c), baseline, "node {node} failover");
             c.restore_node(node).unwrap();
         }
+    }
+
+    #[test]
+    fn updates_during_failure_reconverge_and_never_double_count() {
+        let mut c = replicated_cluster();
+        let probe = Rect::new(vec![40.0, 0.0], vec![49.0, 1e9]).unwrap();
+        // Ground truth over primaries only: what an honest delete count
+        // looks like.
+        let expected = {
+            let recs = c.all_records("t").unwrap();
+            recs.iter()
+                .filter(|r| (40.0..=49.0).contains(&r.values[0]))
+                .count()
+        };
+        c.fail_node(2).unwrap();
+        // Updates land while a node is down: one record inside the
+        // soon-to-be-deleted region, one outside it.
+        c.insert(
+            "t",
+            vec![
+                Record::new(7000, vec![45.0, 4500.0]),
+                Record::new(7001, vec![80.0, 8000.0]),
+            ],
+        )
+        .unwrap();
+        let removed = c.delete_region("t", &probe).unwrap();
+        // Every partition also exists as a replica; a count that included
+        // replica removals would report roughly double.
+        assert_eq!(removed, expected + 1, "delete counts primary removals only");
+        let during = total_scanned(&c);
+        assert_eq!(
+            during,
+            1000 + 2 - removed,
+            "reads during the failure see the updates through replicas"
+        );
+        c.restore_node(2).unwrap();
+        assert_eq!(
+            total_scanned(&c),
+            during,
+            "restored primary reconverges with the updates applied while it was down"
+        );
     }
 
     #[test]

@@ -24,10 +24,12 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod fault;
 pub mod node;
 pub mod partition;
 
 pub use cluster::{BlockCatalogEntry, StorageCluster, TableStats};
+pub use fault::{FaultPlan, FaultState};
 pub use node::{Block, DataNode, ScanStats};
 pub use partition::{NodeId, Partitioning};
 

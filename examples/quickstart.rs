@@ -57,6 +57,7 @@ fn main() -> sea_common::Result<()> {
         match pipeline.process(&exec, &q)?.source {
             AnswerSource::Predicted { .. } => predicted += 1,
             AnswerSource::Exact => exact += 1,
+            AnswerSource::Degraded { .. } => unreachable!("no faults injected"),
         }
     }
     println!("agent warm-up: {exact} exact executions, then {predicted} data-less answers");

@@ -46,6 +46,7 @@ fn agent_pipeline_full_loop() {
         match out.source {
             AnswerSource::Predicted { .. } => predicted += 1,
             AnswerSource::Exact => exact += 1,
+            AnswerSource::Degraded { .. } => panic!("no faults injected"),
         }
     }
     assert!(predicted > 200, "mostly data-less: {predicted}");
