@@ -29,10 +29,12 @@ pub const BASELINE_SCHEMA_VERSION: u64 = 1;
 /// The fixed experiment subset the harness runs: E1 (data-less vs
 /// BDAS), E4 (rank join), E7 (throughput), E8 (storage footprint) —
 /// together they exercise the executor, storage, pipeline, and agent
-/// layers — plus E18 (fault tolerance), whose metrics are recorded for
-/// trend-watching only (injected faults measure the recovery machinery,
-/// not the steady-state query path, so none of them gate).
-pub const BASELINE_EXPERIMENTS: [&str; 5] = ["e1", "e4", "e7", "e8", "e18"];
+/// layers — plus E18 (fault tolerance) and E19 (semantic cache), whose
+/// metrics are recorded for trend-watching only (injected faults
+/// measure the recovery machinery and cache arms deliberately skip
+/// scans, so neither measures the steady-state query path and none of
+/// them gate).
+pub const BASELINE_EXPERIMENTS: [&str; 6] = ["e1", "e4", "e7", "e8", "e18", "e19"];
 
 /// Default relative tolerance for [`compare`]: a gated metric may move
 /// up to this fraction in its bad direction before it counts as a
@@ -217,6 +219,27 @@ pub fn collect() -> sea_common::Result<BenchBaseline> {
                     name: name.to_string(),
                     value: snap.counter(counter) as f64,
                     higher_is_better: false,
+                    gate: false,
+                });
+            }
+        }
+        if id == "e19" {
+            // The cached arm answers most of the stream without touching
+            // storage, so the storage counters measure cache behaviour,
+            // not the scan path — recorded as trends only, like E18.
+            for m in &mut metrics {
+                m.gate = false;
+            }
+            for (name, counter, higher_is_better) in [
+                ("cache_hits", "cache.hits", true),
+                ("cache_containment_hits", "cache.containment_hits", true),
+                ("cache_misses", "cache.misses", false),
+                ("cache_insertions", "cache.insertions", false),
+            ] {
+                metrics.push(HeadlineMetric {
+                    name: name.to_string(),
+                    value: snap.counter(counter) as f64,
+                    higher_is_better,
                     gate: false,
                 });
             }

@@ -20,6 +20,7 @@ mod e15_polystore;
 mod e16_raw_data;
 mod e17_calibration;
 mod e18_faults;
+mod e19_semantic_cache;
 
 pub use a01_ablations::{run_a1, run_a1_with};
 pub use e01_dataless::{run_e1, run_e1_with};
@@ -40,10 +41,11 @@ pub use e15_polystore::{run_e15, run_e15_with};
 pub use e16_raw_data::{run_e16, run_e16_with};
 pub use e17_calibration::{run_e17, run_e17_with};
 pub use e18_faults::{run_e18, run_e18_with};
+pub use e19_semantic_cache::{run_e19, run_e19_with};
 
 use crate::Report;
 
-/// Runs one experiment by id (`"e1"`…`"e17"` or `"a1"`,
+/// Runs one experiment by id (`"e1"`…`"e19"` or `"a1"`,
 /// case-insensitive) without telemetry.
 ///
 /// # Errors
@@ -62,7 +64,7 @@ pub fn run_by_id(id: &str) -> sea_common::Result<Report> {
 ///
 /// Unknown id or experiment-internal errors.
 pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_common::Result<Report> {
-    match id.to_ascii_lowercase().as_str() {
+    let report = match id.to_ascii_lowercase().as_str() {
         "e1" => run_e1_with(sink),
         "e2" => run_e2_with(sink),
         "e3" => run_e3_with(sink),
@@ -81,15 +83,22 @@ pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_comm
         "e16" => run_e16_with(sink),
         "e17" => run_e17_with(sink),
         "e18" => run_e18_with(sink),
+        "e19" => run_e19_with(sink),
         "a1" => run_a1_with(sink),
         other => Err(sea_common::SeaError::NotFound(format!(
             "experiment {other}"
         ))),
+    }?;
+    // A runner that swallowed a malformed row still announces the loss:
+    // JSON consumers see `rows_dropped`, telemetry consumers see this.
+    if report.rows_dropped > 0 {
+        sink.incr("report.rows_dropped", report.rows_dropped);
     }
+    Ok(report)
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 19] = [
+pub const ALL_IDS: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "a1",
+    "e16", "e17", "e18", "e19", "a1",
 ];

@@ -16,6 +16,12 @@ pub struct Report {
     pub columns: Vec<String>,
     /// Rows of values, one per parameter setting.
     pub rows: Vec<Vec<f64>>,
+    /// Number of rows rejected by [`Report::try_push_row`] for arity
+    /// mismatch. Serialized so a JSON consumer can tell a short table
+    /// from a silently truncated one; defaults to zero when absent so
+    /// pre-existing report files still parse.
+    #[serde(default)]
+    pub rows_dropped: u64,
 }
 
 impl Report {
@@ -26,6 +32,7 @@ impl Report {
             title: title.to_string(),
             columns: columns.iter().map(|c| c.to_string()).collect(),
             rows: Vec::new(),
+            rows_dropped: 0,
         }
     }
 
@@ -34,10 +41,13 @@ impl Report {
     ///
     /// # Errors
     ///
-    /// [`SeaError::InvalidArgument`] on an arity mismatch; the report is
-    /// left unchanged.
+    /// [`SeaError::InvalidArgument`] on an arity mismatch; the table is
+    /// left unchanged and [`Report::rows_dropped`] is incremented, so a
+    /// caller that swallows the error still leaves an audit trail in the
+    /// serialized report.
     pub fn try_push_row(&mut self, row: Vec<f64>) -> Result<()> {
         if row.len() != self.columns.len() {
+            self.rows_dropped += 1;
             return Err(SeaError::invalid(format!(
                 "row arity mismatch in report {}: got {} values for {} columns",
                 self.id,
@@ -62,8 +72,9 @@ impl Report {
         }
     }
 
-    /// Serializes the report (id, title, columns, rows) as pretty JSON —
-    /// the machine-readable sibling of the `Display` markdown table.
+    /// Serializes the report (id, title, columns, rows, and the
+    /// dropped-row count) as pretty JSON — the machine-readable sibling
+    /// of the `Display` markdown table.
     ///
     /// # Errors
     ///
@@ -168,16 +179,29 @@ mod tests {
         );
         assert!(r.try_push_row(vec![1.0, 2.0, 3.0]).is_err());
         assert_eq!(r.rows.len(), 1, "failed pushes leave the table alone");
+        assert_eq!(r.rows_dropped, 2, "dropped rows are counted");
     }
 
     #[test]
     fn json_round_trip() {
         let mut r = Report::new("E0", "demo", &["n", "time_us"]);
         r.push_row(vec![1000.0, 42.5]);
+        let _ = r.try_push_row(vec![1.0]);
         let json = r.to_json().unwrap();
         assert!(json.contains("\"columns\""));
+        assert!(
+            json.contains("\"rows_dropped\": 1"),
+            "dropped rows are visible to JSON consumers: {json}"
+        );
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn reports_without_a_dropped_count_still_parse() {
+        let legacy = r#"{"id":"E0","title":"demo","columns":["a"],"rows":[[1.0]]}"#;
+        let r: Report = serde_json::from_str(legacy).unwrap();
+        assert_eq!(r.rows_dropped, 0);
     }
 
     #[test]

@@ -1,0 +1,819 @@
+//! # sea-cache
+//!
+//! A deterministic, cost-aware **semantic answer cache** for the
+//! analytical query path — the aggregate-query sibling of the
+//! GraphCache-style subgraph cache in `sea-graph`.
+//!
+//! The paper's P2/P3 principles rest on workloads with overlapping,
+//! drifting interest regions: analysts keep asking about the same
+//! subspaces. Nothing on the exact path exploited that before this
+//! crate — every repeated [`sea_common::AnalyticalQuery`] paid the full
+//! scatter/gather bill again. [`SemanticCache`] closes the gap by
+//! remembering, per (aggregate kind, region) key, both the merged
+//! [`sea_common::AnswerValue`] and the per-partition answer *fragments*
+//! (the matched records each node shipped), so a later query is
+//! classified as one of:
+//!
+//! - **exact hit** — same aggregate, identical region: the stored answer
+//!   is returned as-is;
+//! - **containment hit** — same aggregate, the cached region *contains*
+//!   the queried one: the answer is re-derived by re-filtering the cached
+//!   per-node fragments, bit-identical to a cold scan, with every
+//!   storage node skipped entirely;
+//! - **subsumption miss** — only strictly *smaller* cached regions
+//!   exist: the query must execute, but the classification is surfaced
+//!   (the workload's interest region grew);
+//! - plain **miss** — nothing semantically related is cached.
+//!
+//! Admission is **cost-based**: an answer enters only when its simulated
+//! recompute cost ([`sea_common::CostReport::wall_us`] of the execution
+//! that produced it) exceeds [`CacheConfig::admit_min_cost_us`] — cheap
+//! answers are cheaper to recompute than to store. Eviction is
+//! **charge-aware**: when over [`CacheConfig::capacity_bytes`], the
+//! entry with the lowest recompute-cost-per-byte goes first (ties broken
+//! by admission sequence number), so the cache preferentially holds what
+//! is expensive to rebuild and cheap to keep.
+//!
+//! ## Determinism contract
+//!
+//! No wall clock, no global RNG, `BTreeMap` iteration everywhere:
+//! lookup, admission, and eviction depend only on the sequence of calls,
+//! so cached and uncached runs — and runs at any `SEA_EXEC_THREADS`
+//! setting — stay bit-reproducible. Consumers uphold their side by
+//! consulting/populating the cache on the coordinator thread only (see
+//! `sea-query`'s `Executor::with_cache`).
+//!
+//! ## Drift epochs
+//!
+//! [`SemanticCache::advance_epoch`] invalidates every entry admitted
+//! before the bump — the hook `sea-geo` uses when the workload generator
+//! shifts interest regions (and the hook a mutable-data deployment would
+//! tie to ingest batches).
+//!
+//! Counters (`cache.hits`, `cache.containment_hits`, `cache.misses`,
+//! `cache.subsumption_misses`, `cache.evictions`, `cache.insertions`,
+//! `cache.invalidations`) and per-query events flow through an attached
+//! [`sea_telemetry::TelemetrySink`].
+//!
+//! ```
+//! use sea_cache::{CacheConfig, CacheDecision, SemanticCache};
+//! use sea_common::{AggregateKind, AnswerValue, Rect, Region};
+//!
+//! let cache = SemanticCache::new(CacheConfig::default());
+//! let region = Region::Range(Rect::new(vec![0.0, 0.0], vec![10.0, 10.0]).unwrap());
+//! // First sight: a miss. Admit the (expensive-to-recompute) answer…
+//! assert!(matches!(
+//!     cache.lookup(&AggregateKind::Count, &region),
+//!     CacheDecision::Miss { .. }
+//! ));
+//! assert!(cache.admit(&AggregateKind::Count, &region, &AnswerValue::Scalar(42.0), None, 25_000.0));
+//! // …and the repeat is an exact hit.
+//! assert!(matches!(
+//!     cache.lookup(&AggregateKind::Count, &region),
+//!     CacheDecision::Exact(AnswerValue::Scalar(v)) if v == 42.0
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use sea_common::{AggregateKind, AnswerValue, Record, Rect, Region};
+use sea_telemetry::TelemetrySink;
+
+/// Configuration of a [`SemanticCache`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Memory budget for cached entries (answers + fragments), in
+    /// (simulated) bytes. Exceeding it triggers charge-aware eviction.
+    pub capacity_bytes: u64,
+    /// Cost-based admission threshold: only answers whose simulated
+    /// recompute cost (µs) is at least this enter the cache.
+    pub admit_min_cost_us: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // 4 MiB holds a few hundred fragment-bearing entries at E19's
+        // scales; 1 ms keeps sub-LAN-round-trip answers out (they are
+        // cheaper to recompute than to manage).
+        CacheConfig {
+            capacity_bytes: 4 * 1024 * 1024,
+            admit_min_cost_us: 1_000.0,
+        }
+    }
+}
+
+/// Monotone counters of everything the cache has done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Exact hits (identical key and region).
+    pub hits: u64,
+    /// Containment hits (cached region ⊇ queried region, answer
+    /// re-derived from fragments).
+    pub containment_hits: u64,
+    /// All misses, including subsumption misses.
+    pub misses: u64,
+    /// Misses where only strictly smaller cached regions existed for the
+    /// key — the query *subsumes* what the cache holds.
+    pub subsumption_misses: u64,
+    /// Entries evicted under memory pressure.
+    pub evictions: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries dropped by [`SemanticCache::advance_epoch`].
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Exact + containment hits over all lookups (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits + self.containment_hits;
+        let total = hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// One storage partition's contribution to a cached answer: the records
+/// that matched the cached region on that node, in node scan order.
+/// Containment hits re-filter these by the (smaller) queried region and
+/// rebuild per-node partials — the same records in the same order a cold
+/// scan would see, so the re-derived answer is bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeFragment {
+    /// The storage node this fragment came from.
+    pub node: u64,
+    /// Matched records, in the node's scan order.
+    pub records: Vec<Record>,
+}
+
+impl NodeFragment {
+    /// Simulated bytes this fragment occupies in the cache.
+    pub fn memory_bytes(&self) -> u64 {
+        24 + self
+            .records
+            .iter()
+            .map(|r| 16 + 8 * r.dims() as u64)
+            .sum::<u64>()
+    }
+}
+
+/// How a lookup was classified.
+#[derive(Debug, Clone)]
+pub enum CacheDecision {
+    /// Identical key and region: the stored answer, verbatim.
+    Exact(AnswerValue),
+    /// A cached region contains the queried one: per-node fragments to
+    /// re-derive the answer from (cloned out of the cache).
+    Containment(Vec<NodeFragment>),
+    /// Nothing reusable.
+    Miss {
+        /// Whether cached entries for the key exist whose regions are
+        /// strictly contained in the queried one (a *subsumption* miss).
+        subsumed: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Entry {
+    rect: Rect,
+    answer: AnswerValue,
+    /// Present when the producer shipped per-node fragments; answer-only
+    /// entries (e.g. admitted by an edge node that never saw partials)
+    /// serve exact hits but cannot serve containment hits.
+    fragments: Option<Vec<NodeFragment>>,
+    /// Simulated cost (µs) of the execution that produced the answer —
+    /// what a future exact hit saves.
+    recompute_cost_us: f64,
+    bytes: u64,
+    epoch: u64,
+    /// Admission sequence number: the deterministic tie-break.
+    seq: u64,
+}
+
+impl Entry {
+    fn cost_per_byte(&self) -> f64 {
+        self.recompute_cost_us / self.bytes.max(1) as f64
+    }
+
+    fn fragment_records(&self) -> u64 {
+        self.fragments
+            .as_ref()
+            .map(|fs| fs.iter().map(|f| f.records.len() as u64).sum())
+            .unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Key (canonical aggregate-kind encoding) → entries in admission
+    /// order. `BTreeMap` for deterministic iteration during eviction.
+    entries: BTreeMap<String, Vec<Entry>>,
+    total_bytes: u64,
+    next_seq: u64,
+    epoch: u64,
+    stats: CacheStats,
+}
+
+/// The cost-aware semantic answer cache. Interior-mutable (all methods
+/// take `&self`) so one instance threads through an `Executor`, an
+/// `AgentPipeline`, and a `GeoSystem` edge without plumbing `&mut`
+/// everywhere; a single [`parking_lot::Mutex`] keeps operations atomic.
+#[derive(Debug)]
+pub struct SemanticCache {
+    state: Mutex<State>,
+    config: CacheConfig,
+    telemetry: TelemetrySink,
+}
+
+impl Default for SemanticCache {
+    fn default() -> Self {
+        SemanticCache::new(CacheConfig::default())
+    }
+}
+
+/// Canonical cache-key encoding of an aggregate kind. `AggregateKind`
+/// carries an `f64` (quantile), so it cannot derive `Ord`/`Hash`; the
+/// `Debug` rendering is deterministic and collision-free across the
+/// enum's variants.
+fn key_of(agg: &AggregateKind) -> String {
+    format!("{agg:?}")
+}
+
+impl SemanticCache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        SemanticCache {
+            state: Mutex::new(State::default()),
+            config,
+            telemetry: TelemetrySink::noop(),
+        }
+    }
+
+    /// Attaches a telemetry sink: `cache.*` counters and per-query
+    /// events flow into it.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Classifies `(agg, region)` against the cached entries and bumps
+    /// the matching counters. Exact hits require an identical rectangle
+    /// (only `Region::Range` selections are admitted); containment hits
+    /// additionally serve `Region::Radius` queries whose bounding box
+    /// fits inside a fragment-bearing cached rectangle. When several
+    /// entries contain the query, the one with the fewest cached records
+    /// (cheapest re-derivation) wins, ties broken by admission order.
+    pub fn lookup(&self, agg: &AggregateKind, region: &Region) -> CacheDecision {
+        let key = key_of(agg);
+        let bbox = region.bounding_rect();
+        let exact_rect = match region {
+            Region::Range(r) => Some(r),
+            _ => None,
+        };
+        let decision = {
+            let mut st = self.state.lock();
+            let found = match st.entries.get(&key) {
+                Some(list) => {
+                    if let Some(e) = exact_rect.and_then(|q| list.iter().find(|e| e.rect == *q)) {
+                        CacheDecision::Exact(e.answer)
+                    } else if let Some(e) = list
+                        .iter()
+                        .filter(|e| e.fragments.is_some() && e.rect.contains_rect(&bbox))
+                        .min_by_key(|e| (e.fragment_records(), e.seq))
+                    {
+                        CacheDecision::Containment(e.fragments.clone().expect("filtered Some"))
+                    } else {
+                        let subsumed = list.iter().any(|e| bbox.contains_rect(&e.rect));
+                        CacheDecision::Miss { subsumed }
+                    }
+                }
+                None => CacheDecision::Miss { subsumed: false },
+            };
+            match &found {
+                CacheDecision::Exact(_) => st.stats.hits += 1,
+                CacheDecision::Containment(_) => st.stats.containment_hits += 1,
+                CacheDecision::Miss { subsumed } => {
+                    st.stats.misses += 1;
+                    if *subsumed {
+                        st.stats.subsumption_misses += 1;
+                    }
+                }
+            }
+            found
+        };
+        match &decision {
+            CacheDecision::Exact(_) => {
+                self.telemetry.incr("cache.hits", 1);
+                self.telemetry
+                    .event("cache.hit", &[("class", "exact".into())]);
+            }
+            CacheDecision::Containment(frags) => {
+                self.telemetry.incr("cache.containment_hits", 1);
+                self.telemetry.event(
+                    "cache.hit",
+                    &[
+                        ("class", "containment".into()),
+                        ("fragments", frags.len().into()),
+                    ],
+                );
+            }
+            CacheDecision::Miss { subsumed } => {
+                self.telemetry.incr("cache.misses", 1);
+                if *subsumed {
+                    self.telemetry.incr("cache.subsumption_misses", 1);
+                }
+                self.telemetry
+                    .event("cache.miss", &[("subsumed", (*subsumed).into())]);
+            }
+        }
+        decision
+    }
+
+    /// Offers an answer for admission; returns whether it was admitted.
+    ///
+    /// Rejected when the region is not a `Region::Range` (only
+    /// rectangles support the exact/containment algebra), when
+    /// `recompute_cost_us` is below the admission threshold, or when the
+    /// entry alone would exceed the whole capacity. An existing entry
+    /// with the same key and rectangle is replaced. Admission may evict:
+    /// while over capacity, the entry with the lowest
+    /// recompute-cost-per-byte is dropped (stable tie-break on admission
+    /// sequence).
+    pub fn admit(
+        &self,
+        agg: &AggregateKind,
+        region: &Region,
+        answer: &AnswerValue,
+        fragments: Option<Vec<NodeFragment>>,
+        recompute_cost_us: f64,
+    ) -> bool {
+        let rect = match region {
+            Region::Range(r) => r.clone(),
+            _ => return false,
+        };
+        // A NaN cost is unpriceable — reject it along with cheap entries.
+        if recompute_cost_us.is_nan() || recompute_cost_us < self.config.admit_min_cost_us {
+            return false;
+        }
+        let bytes = 64
+            + fragments
+                .as_ref()
+                .map(|fs| fs.iter().map(NodeFragment::memory_bytes).sum())
+                .unwrap_or(0u64);
+        if bytes > self.config.capacity_bytes {
+            return false;
+        }
+        let key = key_of(agg);
+        let mut evicted = 0u64;
+        {
+            let mut st = self.state.lock();
+            let epoch = st.epoch;
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            let list = st.entries.entry(key).or_default();
+            if let Some(pos) = list.iter().position(|e| e.rect == rect) {
+                let old = list.remove(pos);
+                st.total_bytes -= old.bytes;
+            }
+            let list = st
+                .entries
+                .get_mut(&key_of(agg))
+                .expect("entry list just created");
+            list.push(Entry {
+                rect,
+                answer: *answer,
+                fragments,
+                recompute_cost_us,
+                bytes,
+                epoch,
+                seq,
+            });
+            st.total_bytes += bytes;
+            st.stats.insertions += 1;
+            while st.total_bytes > self.config.capacity_bytes {
+                if !Self::evict_one(&mut st) {
+                    break;
+                }
+                evicted += 1;
+            }
+        }
+        self.telemetry.incr("cache.insertions", 1);
+        self.telemetry.event(
+            "cache.admitted",
+            &[
+                ("bytes", bytes.into()),
+                ("cost_us", recompute_cost_us.into()),
+            ],
+        );
+        if evicted > 0 {
+            self.telemetry.incr("cache.evictions", evicted);
+            self.telemetry
+                .event("cache.evicted", &[("entries", evicted.into())]);
+        }
+        true
+    }
+
+    /// Evicts the entry with the lowest recompute-cost-per-byte (ties:
+    /// lowest admission sequence). Returns false when the cache is empty.
+    fn evict_one(st: &mut State) -> bool {
+        let victim = st
+            .entries
+            .iter()
+            .flat_map(|(key, list)| list.iter().map(move |e| (key, e)))
+            .min_by(|(_, a), (_, b)| {
+                a.cost_per_byte()
+                    .total_cmp(&b.cost_per_byte())
+                    .then(a.seq.cmp(&b.seq))
+            })
+            .map(|(key, e)| (key.clone(), e.seq));
+        let Some((key, seq)) = victim else {
+            return false;
+        };
+        let list = st.entries.get_mut(&key).expect("victim's list exists");
+        let pos = list
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("victim still present");
+        let removed = list.remove(pos);
+        if list.is_empty() {
+            st.entries.remove(&key);
+        }
+        st.total_bytes -= removed.bytes;
+        st.stats.evictions += 1;
+        true
+    }
+
+    /// Starts a new drift epoch, invalidating every entry admitted
+    /// before the bump, and returns the new epoch. The hook for workload
+    /// drift (interest regions moved; cached regions are no longer worth
+    /// their memory) and for data-mutation boundaries (cached answers
+    /// would be stale).
+    pub fn advance_epoch(&self) -> u64 {
+        let (epoch, dropped) = {
+            let mut st = self.state.lock();
+            st.epoch += 1;
+            let epoch = st.epoch;
+            let mut dropped = 0u64;
+            let mut freed = 0u64;
+            for list in st.entries.values_mut() {
+                list.retain(|e| {
+                    let keep = e.epoch >= epoch;
+                    if !keep {
+                        dropped += 1;
+                        freed += e.bytes;
+                    }
+                    keep
+                });
+            }
+            st.entries.retain(|_, list| !list.is_empty());
+            st.total_bytes -= freed;
+            st.stats.invalidations += dropped;
+            (epoch, dropped)
+        };
+        self.telemetry.incr("cache.invalidations", dropped);
+        self.telemetry.event(
+            "cache.epoch_advanced",
+            &[("epoch", epoch.into()), ("dropped", dropped.into())],
+        );
+        epoch
+    }
+
+    /// The current drift epoch (starts at 0).
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Simulated bytes currently held.
+    pub fn memory_bytes(&self) -> u64 {
+        self.state.lock().total_bytes
+    }
+
+    /// Drops every entry (counters and epoch are kept).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.entries.clear();
+        st.total_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(lo: [f64; 2], hi: [f64; 2]) -> Region {
+        Region::Range(Rect::new(lo.to_vec(), hi.to_vec()).unwrap())
+    }
+
+    fn frag(node: u64, n: usize) -> NodeFragment {
+        NodeFragment {
+            node,
+            records: (0..n)
+                .map(|i| Record::new(i as u64, vec![i as f64, i as f64]))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn classification_exact_containment_subsumption() {
+        let cache = SemanticCache::new(CacheConfig::default());
+        let big = range([0.0, 0.0], [20.0, 20.0]);
+        let small = range([5.0, 5.0], [10.0, 10.0]);
+        let huge = range([-10.0, -10.0], [50.0, 50.0]);
+        assert!(cache.admit(
+            &AggregateKind::Count,
+            &big,
+            &AnswerValue::Scalar(7.0),
+            Some(vec![frag(0, 4), frag(1, 3)]),
+            10_000.0,
+        ));
+        // Exact.
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Count, &big),
+            CacheDecision::Exact(AnswerValue::Scalar(v)) if v == 7.0
+        ));
+        // Containment: smaller region served from fragments.
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Count, &small),
+            CacheDecision::Containment(frags) if frags.len() == 2
+        ));
+        // Subsumption: the query contains what we cached.
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Count, &huge),
+            CacheDecision::Miss { subsumed: true }
+        ));
+        // A different aggregate kind is a plain miss.
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Sum { dim: 0 }, &big),
+            CacheDecision::Miss { subsumed: false }
+        ));
+        let s = cache.stats();
+        assert_eq!(
+            (s.hits, s.containment_hits, s.misses, s.subsumption_misses),
+            (1, 1, 2, 1)
+        );
+    }
+
+    #[test]
+    fn answer_only_entries_never_serve_containment() {
+        let cache = SemanticCache::new(CacheConfig::default());
+        let big = range([0.0, 0.0], [20.0, 20.0]);
+        let small = range([5.0, 5.0], [10.0, 10.0]);
+        assert!(cache.admit(
+            &AggregateKind::Count,
+            &big,
+            &AnswerValue::Scalar(7.0),
+            None,
+            10_000.0,
+        ));
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Count, &small),
+            CacheDecision::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn cost_based_admission_rejects_cheap_answers() {
+        let cache = SemanticCache::new(CacheConfig {
+            admit_min_cost_us: 500.0,
+            ..CacheConfig::default()
+        });
+        let r = range([0.0, 0.0], [1.0, 1.0]);
+        assert!(!cache.admit(
+            &AggregateKind::Count,
+            &r,
+            &AnswerValue::Scalar(1.0),
+            None,
+            499.9
+        ));
+        assert!(!cache.admit(
+            &AggregateKind::Count,
+            &r,
+            &AnswerValue::Scalar(1.0),
+            None,
+            f64::NAN
+        ));
+        assert!(cache.admit(
+            &AggregateKind::Count,
+            &r,
+            &AnswerValue::Scalar(1.0),
+            None,
+            500.0
+        ));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn radius_regions_are_not_admitted() {
+        use sea_common::{Ball, Point};
+        let cache = SemanticCache::new(CacheConfig::default());
+        let ball = Region::Radius(Ball::new(Point::new(vec![5.0, 5.0]), 2.0).unwrap());
+        assert!(!cache.admit(
+            &AggregateKind::Count,
+            &ball,
+            &AnswerValue::Scalar(1.0),
+            None,
+            1e6
+        ));
+        // …but a ball query inside a cached rectangle is a containment hit.
+        let big = range([0.0, 0.0], [20.0, 20.0]);
+        assert!(cache.admit(
+            &AggregateKind::Count,
+            &big,
+            &AnswerValue::Scalar(9.0),
+            Some(vec![frag(0, 2)]),
+            1e6
+        ));
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Count, &ball),
+            CacheDecision::Containment(_)
+        ));
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_and_charge_aware() {
+        // Capacity fits two fragment entries; admitting a third evicts
+        // the lowest cost-per-byte one. Identical insert sequences must
+        // produce identical eviction sequences.
+        let run = || {
+            let cache = SemanticCache::new(CacheConfig {
+                capacity_bytes: 2 * (64 + 24 + 10 * 32),
+                admit_min_cost_us: 0.0,
+            });
+            let regions = [
+                range([0.0, 0.0], [1.0, 1.0]),
+                range([2.0, 0.0], [3.0, 1.0]),
+                range([4.0, 0.0], [5.0, 1.0]),
+            ];
+            // Same size, increasing recompute cost: the first (cheapest
+            // per byte) is the deterministic victim.
+            for (i, r) in regions.iter().enumerate() {
+                cache.admit(
+                    &AggregateKind::Count,
+                    r,
+                    &AnswerValue::Scalar(i as f64),
+                    Some(vec![frag(0, 10)]),
+                    1_000.0 * (i + 1) as f64,
+                );
+            }
+            let survivors: Vec<bool> = regions
+                .iter()
+                .map(|r| {
+                    matches!(
+                        cache.lookup(&AggregateKind::Count, r),
+                        CacheDecision::Exact(_)
+                    )
+                })
+                .collect();
+            (survivors, cache.stats().evictions, cache.len())
+        };
+        let (survivors, evictions, len) = run();
+        assert_eq!(
+            survivors,
+            vec![false, true, true],
+            "cheapest-per-byte first"
+        );
+        assert_eq!(evictions, 1);
+        assert_eq!(len, 2);
+        for _ in 0..5 {
+            assert_eq!(run(), (survivors.clone(), evictions, len), "deterministic");
+        }
+    }
+
+    #[test]
+    fn eviction_ties_break_by_admission_sequence() {
+        let entry_bytes = 64 + 24 + 10 * 32;
+        let cache = SemanticCache::new(CacheConfig {
+            capacity_bytes: 2 * entry_bytes,
+            admit_min_cost_us: 0.0,
+        });
+        let regions = [
+            range([0.0, 0.0], [1.0, 1.0]),
+            range([2.0, 0.0], [3.0, 1.0]),
+            range([4.0, 0.0], [5.0, 1.0]),
+        ];
+        // Identical cost-per-byte everywhere: the oldest admission loses.
+        for r in &regions {
+            cache.admit(
+                &AggregateKind::Count,
+                r,
+                &AnswerValue::Scalar(0.0),
+                Some(vec![frag(0, 10)]),
+                5_000.0,
+            );
+        }
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Count, &regions[0]),
+            CacheDecision::Miss { .. }
+        ));
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Count, &regions[1]),
+            CacheDecision::Exact(_)
+        ));
+    }
+
+    #[test]
+    fn advance_epoch_drops_pre_drift_entries() {
+        let cache = SemanticCache::new(CacheConfig::default());
+        let r0 = range([0.0, 0.0], [1.0, 1.0]);
+        let r1 = range([2.0, 0.0], [3.0, 1.0]);
+        cache.admit(
+            &AggregateKind::Count,
+            &r0,
+            &AnswerValue::Scalar(1.0),
+            None,
+            1e6,
+        );
+        assert_eq!(cache.advance_epoch(), 1);
+        assert!(cache.is_empty(), "pre-drift entries dropped");
+        assert_eq!(cache.memory_bytes(), 0);
+        assert_eq!(cache.stats().invalidations, 1);
+        // Post-drift admissions live in the new epoch.
+        cache.admit(
+            &AggregateKind::Count,
+            &r1,
+            &AnswerValue::Scalar(2.0),
+            None,
+            1e6,
+        );
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Count, &r1),
+            CacheDecision::Exact(_)
+        ));
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_leak_bytes() {
+        let cache = SemanticCache::new(CacheConfig::default());
+        let r = range([0.0, 0.0], [1.0, 1.0]);
+        for i in 0..5 {
+            cache.admit(
+                &AggregateKind::Count,
+                &r,
+                &AnswerValue::Scalar(i as f64),
+                Some(vec![frag(0, 10)]),
+                1e6,
+            );
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.memory_bytes(), 64 + 24 + 10 * 32);
+        assert!(matches!(
+            cache.lookup(&AggregateKind::Count, &r),
+            CacheDecision::Exact(AnswerValue::Scalar(v)) if v == 4.0
+        ));
+    }
+
+    #[test]
+    fn telemetry_counters_flow_to_the_sink() {
+        let sink = TelemetrySink::recording();
+        let cache = SemanticCache::new(CacheConfig::default()).with_telemetry(sink.clone());
+        let big = range([0.0, 0.0], [20.0, 20.0]);
+        let small = range([5.0, 5.0], [10.0, 10.0]);
+        cache.lookup(&AggregateKind::Count, &big);
+        cache.admit(
+            &AggregateKind::Count,
+            &big,
+            &AnswerValue::Scalar(7.0),
+            Some(vec![frag(0, 4)]),
+            10_000.0,
+        );
+        cache.lookup(&AggregateKind::Count, &big);
+        cache.lookup(&AggregateKind::Count, &small);
+        cache.advance_epoch();
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.counter("cache.hits"), 1);
+        assert_eq!(snap.counter("cache.containment_hits"), 1);
+        assert_eq!(snap.counter("cache.misses"), 1);
+        assert_eq!(snap.counter("cache.insertions"), 1);
+        assert_eq!(snap.counter("cache.invalidations"), 1);
+        assert!(snap.event_count("cache.hit") == 2);
+        assert!(snap.event_count("cache.admitted") == 1);
+    }
+}

@@ -28,6 +28,12 @@
 //! 6. **Answers higher-level interrogations** (RT4-1): e.g. "return the
 //!    data subspaces where the correlation coefficient exceeds θ", swept
 //!    entirely over predictions ([`interrogate`]).
+//!
+//! The full serving stack is assembled by [`pipeline::AgentPipeline`]:
+//! an optional [`sea_cache::SemanticCache`] sits *in front of* the
+//! predict-vs-exact branch ([`AgentPipeline::with_cache`]), so a cached
+//! exact answer short-circuits both prediction and execution while
+//! still feeding the agent a training example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

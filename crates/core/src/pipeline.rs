@@ -8,6 +8,9 @@
 //! data" — while still falling back to exact execution whenever the error
 //! estimate is too high (RT1-3).
 
+use std::sync::Arc;
+
+use sea_cache::SemanticCache;
 use sea_common::{AnalyticalQuery, AnswerValue, CostReport, Result};
 use sea_query::Executor;
 use sea_telemetry::TelemetrySink;
@@ -33,6 +36,11 @@ pub enum AnswerSource {
     },
     /// Executed exactly against the base data (and used for training).
     Exact,
+    /// Served by the semantic cache ([`AgentPipeline::with_cache`])
+    /// without touching base data — and, like exact answers, used for
+    /// training: cache hits are exact, so they feed the agent a free
+    /// training example without re-execution.
+    Cached,
     /// Exact execution failed and the pipeline served the agent's best
     /// available prediction instead (opt-in via
     /// [`AgentPipeline::with_degraded_fallback`]). Degraded answers are
@@ -75,6 +83,9 @@ pub struct AgentPipeline {
     /// agent had produced a prediction, serve that prediction as a
     /// [`AnswerSource::Degraded`] answer instead of an error.
     degraded_fallback: bool,
+    /// Semantic answer cache consulted *before* the predict-vs-exact
+    /// branch; exact executions populate it.
+    cache: Option<Arc<SemanticCache>>,
     telemetry: TelemetrySink,
 }
 
@@ -99,6 +110,7 @@ impl AgentPipeline {
             refresh_every: 8,
             predictions_since_audit: 0,
             degraded_fallback: false,
+            cache: None,
             telemetry: TelemetrySink::default(),
         })
     }
@@ -122,6 +134,24 @@ impl AgentPipeline {
     pub fn with_degraded_fallback(mut self, on: bool) -> Self {
         self.degraded_fallback = on;
         self
+    }
+
+    /// Attaches a [`SemanticCache`] in front of the predict-vs-exact
+    /// branch: every query consults the cache first, hits are served as
+    /// [`AnswerSource::Cached`] (exact answers at cache-lookup cost) and
+    /// *still train the agent* — a repeated workload keeps improving the
+    /// model without ever re-executing — and every exact execution's
+    /// answer is offered to the cache for cost-based admission. The
+    /// cache is scoped to this pipeline's table.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SemanticCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached semantic cache, if any.
+    pub fn cache(&self) -> Option<&SemanticCache> {
+        self.cache.as_deref()
     }
 
     /// Attaches a telemetry sink: `core.pipeline.process` spans plus
@@ -164,6 +194,34 @@ impl AgentPipeline {
     ) -> Result<ProcessOutcome> {
         let span = self.telemetry.span("core.pipeline.process");
         let ctx = span.ctx();
+        if let Some(cache) = &self.cache {
+            let probe = executor.clone().with_cache(cache);
+            if let Some(Ok(outcome)) = probe.cache_lookup(query) {
+                // A cache hit is an exact answer obtained without base
+                // data: serve it *and* learn from it, exactly like a
+                // free exact execution. (An `Err` from a containment
+                // re-derivation — operator undefined on the empty
+                // sub-selection — falls through to the normal path,
+                // which owns error handling and degraded fallback.)
+                if self.telemetry.is_enabled() {
+                    span.tag("branch", "cached");
+                }
+                span.record_sim_us(outcome.cost.wall_us);
+                self.agent.train(query, &outcome.answer)?;
+                self.telemetry.event(
+                    "agent.cached",
+                    &[(
+                        "training_queries",
+                        self.agent.stats().training_queries.into(),
+                    )],
+                );
+                return Ok(ProcessOutcome {
+                    answer: outcome.answer,
+                    cost: outcome.cost,
+                    source: AnswerSource::Cached,
+                });
+            }
+        }
         let mut fallback_reason = "untrained";
         // −1 = the agent produced no estimate at all (kept finite so the
         // payload survives JSON round-trips).
@@ -217,11 +275,23 @@ impl AgentPipeline {
             ],
         );
         self.predictions_since_audit = 0;
+        // Populate-only: the pipeline already consulted the cache above,
+        // so the executor must not count a second lookup, but its exact
+        // answer (with per-node fragments) should be offered for
+        // admission.
+        let cached_exec;
+        let exec_ref = match &self.cache {
+            Some(cache) => {
+                cached_exec = executor.clone().with_cache_populate_only(cache);
+                &cached_exec
+            }
+            None => executor,
+        };
         // The executor's span tree (scatter → per-node scans → gather)
         // hangs under this pipeline span via the explicit trace parent.
         let exact = match self.mode {
-            ExecMode::Bdas => executor.execute_bdas_traced(&self.table, query, &ctx),
-            ExecMode::Direct => executor.execute_direct_traced(&self.table, query, &ctx),
+            ExecMode::Bdas => exec_ref.execute_bdas_traced(&self.table, query, &ctx),
+            ExecMode::Direct => exec_ref.execute_direct_traced(&self.table, query, &ctx),
         };
         let outcome = match exact {
             Ok(outcome) => outcome,
@@ -293,17 +363,35 @@ impl AgentPipeline {
         let ctx = batch_span.ctx();
 
         // Phase 1 — sequential decisions in query order (deterministic
-        // event stream, same audit cadence as `process`).
+        // event stream, same audit cadence as `process`). Cache lookups
+        // happen here, on the coordinator, so hit/miss classification is
+        // independent of the pool's thread count.
         enum Planned {
             Predicted(ProcessOutcome),
+            /// Answered by the semantic cache; trains in phase 3.
+            Cached(ProcessOutcome),
             /// Exact execution pending; carries the (unconfident)
             /// prediction, if any, so a failed execution can degrade to
             /// it instead of erroring when the pipeline opts in.
             Exact(Option<(AnswerValue, f64)>),
         }
+        let probe = self
+            .cache
+            .as_ref()
+            .map(|cache| executor.clone().with_cache(cache));
         let mut plan: Vec<Planned> = Vec::with_capacity(queries.len());
         let mut pending: Vec<usize> = Vec::new();
         for (i, query) in queries.iter().enumerate() {
+            if let Some(probe) = &probe {
+                if let Some(Ok(outcome)) = probe.cache_lookup(query) {
+                    plan.push(Planned::Cached(ProcessOutcome {
+                        answer: outcome.answer,
+                        cost: outcome.cost,
+                        source: AnswerSource::Cached,
+                    }));
+                    continue;
+                }
+            }
             let mut fallback_reason = "untrained";
             let mut fallback_est_error = -1.0;
             let mut fallback_pred = None;
@@ -359,9 +447,14 @@ impl AgentPipeline {
         // its worker thread.
         let mode = self.mode;
         let table = self.table.clone();
+        // Cache-less workers: concurrent admissions would make the
+        // cache's contents schedule-dependent. Successful answers are
+        // admitted sequentially in phase 3 instead (answer-only — the
+        // fragments stay on the workers).
         let inner = executor
             .clone()
-            .with_pool(sea_query::ExecPool::sequential());
+            .with_pool(sea_query::ExecPool::sequential())
+            .without_cache();
         let exact_outcomes = executor.pool().run(pending.len(), |j| {
             let query = &queries[pending[j]];
             match mode {
@@ -376,6 +469,17 @@ impl AgentPipeline {
             .zip(queries)
             .map(|(planned, query)| match planned {
                 Planned::Predicted(outcome) => Ok(outcome),
+                Planned::Cached(outcome) => {
+                    self.agent.train(query, &outcome.answer)?;
+                    self.telemetry.event(
+                        "agent.cached",
+                        &[(
+                            "training_queries",
+                            self.agent.stats().training_queries.into(),
+                        )],
+                    );
+                    Ok(outcome)
+                }
                 Planned::Exact(pred) => {
                     let outcome = match exact_iter.next().expect("one result per pending query") {
                         Ok(outcome) => outcome,
@@ -408,6 +512,15 @@ impl AgentPipeline {
                             self.agent.stats().training_queries.into(),
                         )],
                     );
+                    if let Some(cache) = &self.cache {
+                        cache.admit(
+                            &query.aggregate,
+                            &query.region,
+                            &outcome.answer,
+                            None,
+                            outcome.cost.wall_us,
+                        );
+                    }
                     Ok(ProcessOutcome {
                         answer: outcome.answer,
                         cost: outcome.cost,
@@ -462,6 +575,7 @@ mod tests {
                     assert_eq!(out.cost, CostReport::zero());
                 }
                 AnswerSource::Degraded { .. } => panic!("no faults injected"),
+                AnswerSource::Cached => panic!("no cache attached"),
             }
         }
         assert!(
@@ -725,6 +839,90 @@ mod tests {
             trained,
             "degraded answers never train the agent"
         );
+    }
+
+    #[test]
+    fn cache_hits_serve_and_train_without_reexecution() {
+        use sea_cache::{CacheConfig, CacheStats, SemanticCache};
+        let c = cluster();
+        let exec = Executor::new(&c);
+        let cache = Arc::new(SemanticCache::new(CacheConfig {
+            admit_min_cost_us: 0.0,
+            ..CacheConfig::default()
+        }));
+        // Threshold 0: the agent never predicts, isolating the cache.
+        let mut pipe = AgentPipeline::new(2, AgentConfig::default(), "t", 0.0, ExecMode::Direct)
+            .unwrap()
+            .with_cache(Arc::clone(&cache));
+        let q = query(50.0, 50.0, 5.0);
+        let cold = pipe.process(&exec, &q).unwrap();
+        assert_eq!(cold.source, AnswerSource::Exact);
+        let trained_after_cold = pipe.agent().stats().training_queries;
+
+        // Identical repeat: exact hit, same answer, cheaper, trains.
+        let hot = pipe.process(&exec, &q).unwrap();
+        assert_eq!(hot.source, AnswerSource::Cached);
+        assert_eq!(hot.answer, cold.answer);
+        assert!(hot.cost.wall_us < cold.cost.wall_us);
+        assert_eq!(
+            pipe.agent().stats().training_queries,
+            trained_after_cold + 1,
+            "cache hits feed training examples without re-execution"
+        );
+
+        // Contained repeat: served from the cached fragments,
+        // bit-identical to what a cold execution would answer.
+        let small = query(50.0, 50.0, 2.0);
+        let want = exec.execute_direct("t", &small).unwrap().answer;
+        let contained = pipe.process(&exec, &small).unwrap();
+        assert_eq!(contained.source, AnswerSource::Cached);
+        assert_eq!(contained.answer, want);
+        let CacheStats {
+            hits,
+            containment_hits,
+            ..
+        } = cache.stats();
+        assert_eq!((hits, containment_hits), (1, 1));
+    }
+
+    #[test]
+    fn batch_consults_and_populates_the_cache_deterministically() {
+        use sea_cache::{CacheConfig, SemanticCache};
+        use sea_query::ExecPool;
+        let c = cluster();
+        let queries: Vec<AnalyticalQuery> = (0..12)
+            .map(|i| query(50.0, 50.0, 3.0 + (i % 4) as f64))
+            .collect();
+        let run = |threads: usize| {
+            let exec = Executor::new(&c).with_pool(ExecPool::new(threads));
+            let cache = Arc::new(SemanticCache::new(CacheConfig {
+                admit_min_cost_us: 0.0,
+                ..CacheConfig::default()
+            }));
+            let mut pipe =
+                AgentPipeline::new(2, AgentConfig::default(), "t", 0.0, ExecMode::Direct)
+                    .unwrap()
+                    .with_cache(Arc::clone(&cache));
+            let first: Vec<String> = pipe
+                .process_batch(&exec, &queries)
+                .into_iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            let second: Vec<ProcessOutcome> = pipe
+                .process_batch(&exec, &queries)
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            assert!(
+                second.iter().all(|o| o.source == AnswerSource::Cached),
+                "the repeated batch is answered from the cache"
+            );
+            (first, format!("{second:?}"), cache.stats())
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), base, "{threads} threads");
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The edge/core geo-distributed system.
 
+use sea_cache::{CacheConfig, SemanticCache};
 use sea_common::{AnalyticalQuery, AnswerValue, CostModel, CostReport, Rect, Result, SeaError};
 use sea_core::agent::{AgentConfig, SeaAgent};
 use sea_query::{Executor, RetryPolicy};
@@ -31,6 +32,9 @@ impl Default for GeoConfig {
 /// Where an answer came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GeoSource {
+    /// Answered by the edge's local semantic cache — an *exact* answer
+    /// with no WAN traffic ([`GeoSystem::with_edge_caches`]).
+    EdgeCache,
     /// Answered by the edge's local model — no WAN traffic.
     EdgeModel,
     /// Answered by a sibling edge's model (one inter-edge hop; RT5-4).
@@ -62,6 +66,9 @@ pub struct GeoStats {
     pub queries: u64,
     /// Queries answered at an edge.
     pub edge_answered: u64,
+    /// Subset of `edge_answered` served by an edge's semantic cache
+    /// (exact answers, zero WAN traffic).
+    pub cache_answered: u64,
     /// Queries escalated to the core.
     pub core_answered: u64,
     /// Total WAN bytes moved.
@@ -94,6 +101,10 @@ impl GeoStats {
 
 struct EdgeNode {
     agent: SeaAgent,
+    /// Edge-local semantic answer cache (RT5 flavoured): exact repeats
+    /// of escalated queries are answered at the edge without a WAN round
+    /// trip. `None` unless [`GeoSystem::with_edge_caches`] opted in.
+    cache: Option<SemanticCache>,
 }
 
 /// The geo-distributed SEA deployment of Fig 3.
@@ -129,6 +140,7 @@ impl<'a> GeoSystem<'a> {
         for _ in 0..config.edges {
             edges.push(EdgeNode {
                 agent: SeaAgent::new(dims, config.agent.clone())?,
+                cache: None,
             });
         }
         Ok(GeoSystem {
@@ -142,6 +154,7 @@ impl<'a> GeoSystem<'a> {
             stats: GeoStats {
                 queries: 0,
                 edge_answered: 0,
+                cache_answered: 0,
                 core_answered: 0,
                 wan_bytes: 0,
                 wan_msgs: 0,
@@ -167,6 +180,46 @@ impl<'a> GeoSystem<'a> {
     pub fn with_core_retry(mut self, policy: RetryPolicy) -> Self {
         self.executor = self.executor.clone().with_retry_policy(policy);
         self
+    }
+
+    /// Equips every edge with a local [`SemanticCache`]: exact repeats
+    /// of previously escalated queries are answered at the edge — no WAN
+    /// round trip, no core execution — and counted as
+    /// [`GeoSource::EdgeCache`]. Edge entries are admitted answer-only
+    /// (shipping per-node record fragments over the WAN would cost more
+    /// than the round trips they could save), so only exact hits apply;
+    /// the admission cost threshold is charged against the full
+    /// WAN + core bill an escalation pays. Invalidate across workload
+    /// drift with [`GeoSystem::advance_cache_epoch`].
+    #[must_use]
+    pub fn with_edge_caches(mut self, config: CacheConfig) -> Self {
+        for e in &mut self.edges {
+            e.cache =
+                Some(SemanticCache::new(config.clone()).with_telemetry(self.telemetry.clone()));
+        }
+        self
+    }
+
+    /// Starts a new drift epoch on every edge cache, dropping all
+    /// entries admitted before the bump. Call when the workload
+    /// generator shifts interest regions (or data mutates): cached
+    /// answers for the old regions are no longer worth their memory — or
+    /// no longer true. Returns the new epoch (0 when no caches are
+    /// attached).
+    pub fn advance_cache_epoch(&mut self) -> u64 {
+        let mut epoch = 0;
+        for e in &mut self.edges {
+            if let Some(cache) = &e.cache {
+                epoch = cache.advance_epoch();
+            }
+        }
+        epoch
+    }
+
+    /// A specific edge's semantic cache, if caches are enabled (`None`
+    /// for unknown edges too).
+    pub fn edge_cache(&self, edge: usize) -> Option<&SemanticCache> {
+        self.edges.get(edge).and_then(|e| e.cache.as_ref())
     }
 
     /// The system's telemetry sink (inherited from the cluster).
@@ -201,14 +254,76 @@ impl<'a> GeoSystem<'a> {
             .ok_or_else(|| SeaError::NotFound(format!("edge {edge}")))
     }
 
-    /// Submits an analyst query at edge `edge`.
+    /// Submits an analyst query at edge `edge`: edge cache (if enabled),
+    /// then the edge's local model, then escalation to the core.
     ///
     /// # Errors
     ///
     /// Unknown edge, or exact-execution errors when escalated.
     pub fn submit(&mut self, edge: usize, query: &AnalyticalQuery) -> Result<GeoOutcome> {
+        self.submit_inner(edge, query, true)
+    }
+
+    /// Probes edge `edge`'s semantic cache; on a hit, serves it and does
+    /// all the bookkeeping. Shared by [`GeoSystem::submit`] and
+    /// [`GeoSystem::submit_routed`] (which consults *before* its sibling
+    /// polls and must not consult again when it finally escalates).
+    fn serve_from_edge_cache(
+        &mut self,
+        edge: usize,
+        query: &AnalyticalQuery,
+    ) -> Option<GeoOutcome> {
+        // Edge-local lookup: a hash probe plus (for containment hits)
+        // the re-derivation, all on edge silicon.
+        const EDGE_CACHE_US: f64 = 20.0;
+        let out = {
+            let cache = self.edges.get(edge)?.cache.as_ref()?;
+            match self.executor.clone().with_cache(cache).cache_lookup(query) {
+                Some(Ok(out)) => out,
+                // An Err from a containment re-derivation (operator
+                // undefined on the empty sub-selection) falls through to
+                // the normal path, which owns error handling.
+                Some(Err(_)) | None => return None,
+            }
+        };
+        let response_us = EDGE_CACHE_US + out.cost.wall_us;
+        self.stats.queries += 1;
+        self.stats.edge_answered += 1;
+        self.stats.cache_answered += 1;
+        self.stats.total_response_us += response_us;
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr("geo.cache_answered", 1);
+            self.telemetry
+                .event("geo.cache_answered", &[("edge", edge.into())]);
+        }
+        Some(GeoOutcome {
+            answer: out.answer,
+            response_us,
+            wan_bytes: 0,
+            source: GeoSource::EdgeCache,
+        })
+    }
+
+    fn submit_inner(
+        &mut self,
+        edge: usize,
+        query: &AnalyticalQuery,
+        consult_cache: bool,
+    ) -> Result<GeoOutcome> {
         let span = self.telemetry.span("geo.edge.submit");
         span.tag("edge", edge);
+        if self.edges.get(edge).is_none() {
+            return Err(SeaError::NotFound(format!("edge {edge}")));
+        }
+        if consult_cache {
+            if let Some(out) = self.serve_from_edge_cache(edge, query) {
+                span.record_sim_us(out.response_us);
+                if self.telemetry.is_enabled() {
+                    span.tag("source", "edge_cache");
+                }
+                return Ok(out);
+            }
+        }
         let threshold = self.config.error_threshold;
         let edge_node = self
             .edges
@@ -301,6 +416,18 @@ impl<'a> GeoSystem<'a> {
             .get_mut(edge)
             .ok_or_else(|| SeaError::NotFound(format!("edge {edge}")))?;
         edge_node.agent.train(query, &core.answer)?;
+        // Offer the escalated answer to the edge's cache (answer-only —
+        // no fragments crossed the WAN). The recompute cost is what a
+        // repeat would pay: the WAN round trip plus core execution.
+        if let Some(cache) = &edge_node.cache {
+            cache.admit(
+                &query.aggregate,
+                &query.region,
+                &core.answer,
+                None,
+                wan_us + core.cost.wall_us,
+            );
+        }
         self.master.train(query, &core.answer)?;
 
         self.stats.queries += 1;
@@ -335,6 +462,14 @@ impl<'a> GeoSystem<'a> {
         let threshold = self.config.error_threshold;
         if edge >= self.edges.len() {
             return Err(SeaError::NotFound(format!("edge {edge}")));
+        }
+        // 0. Edge cache: an exact answer beats any model poll.
+        if let Some(out) = self.serve_from_edge_cache(edge, query) {
+            span.record_sim_us(out.response_us);
+            if self.telemetry.is_enabled() {
+                span.tag("source", "edge_cache");
+            }
+            return Ok(out);
         }
         const EDGE_PREDICT_US: f64 = 100.0;
         // 1. Local model.
@@ -406,12 +541,13 @@ impl<'a> GeoSystem<'a> {
                 }
             }
         }
-        // 3. Core, accounting for the sibling polls that failed.
+        // 3. Core, accounting for the sibling polls that failed. The
+        // edge cache was already consulted in step 0.
         let wasted_bytes = polled * (query_bytes + answer_bytes);
         let wasted_us = polled as f64
             * (self.cost_model.wan_msg_us
                 + (query_bytes + answer_bytes) as f64 * self.cost_model.wan_byte_us);
-        let mut out = self.submit(edge, query)?;
+        let mut out = self.submit_inner(edge, query, false)?;
         out.response_us += wasted_us;
         out.wan_bytes += wasted_bytes;
         self.stats.wan_bytes += wasted_bytes;
@@ -548,6 +684,7 @@ impl<'a> GeoSystem<'a> {
         self.stats = GeoStats {
             queries: 0,
             edge_answered: 0,
+            cache_answered: 0,
             core_answered: 0,
             wan_bytes: 0,
             wan_msgs: 0,
@@ -823,6 +960,74 @@ mod tests {
     }
 
     #[test]
+    fn edge_cache_answers_repeats_without_wan_traffic() {
+        let c = cluster();
+        // Threshold 0 keeps the models out of the way: every miss
+        // escalates, every repeat must come from the cache.
+        let config = GeoConfig {
+            error_threshold: 0.0,
+            ..GeoConfig::default()
+        };
+        let mut geo = GeoSystem::new(&c, "t", config)
+            .unwrap()
+            .with_edge_caches(CacheConfig {
+                admit_min_cost_us: 0.0,
+                ..CacheConfig::default()
+            });
+        let q = query(50.0, 5.0);
+        let cold = geo.submit(0, &q).unwrap();
+        assert_eq!(cold.source, GeoSource::CoreExact);
+        let wan_after_cold = geo.stats().wan_bytes;
+
+        let hot = geo.submit(0, &q).unwrap();
+        assert_eq!(hot.source, GeoSource::EdgeCache);
+        assert_eq!(hot.answer, cold.answer, "cache hits are exact");
+        assert_eq!(hot.wan_bytes, 0);
+        assert_eq!(
+            geo.stats().wan_bytes,
+            wan_after_cold,
+            "no WAN traffic for the repeat"
+        );
+        assert!(hot.response_us < cold.response_us / 10.0);
+        assert_eq!(geo.stats().cache_answered, 1);
+
+        // Caches are edge-local: the same query at another edge misses.
+        let other = geo.submit(1, &q).unwrap();
+        assert_eq!(other.source, GeoSource::CoreExact);
+
+        // Routed submission consults the cache before polling siblings.
+        let routed = geo.submit_routed(0, &q).unwrap();
+        assert_eq!(routed.source, GeoSource::EdgeCache);
+    }
+
+    #[test]
+    fn drift_epoch_invalidates_edge_caches() {
+        let c = cluster();
+        let config = GeoConfig {
+            error_threshold: 0.0,
+            ..GeoConfig::default()
+        };
+        let mut geo = GeoSystem::new(&c, "t", config)
+            .unwrap()
+            .with_edge_caches(CacheConfig {
+                admit_min_cost_us: 0.0,
+                ..CacheConfig::default()
+            });
+        let q = query(50.0, 5.0);
+        geo.submit(0, &q).unwrap();
+        assert_eq!(geo.submit(0, &q).unwrap().source, GeoSource::EdgeCache);
+
+        // The workload generator shifts interest regions: pre-drift
+        // entries are dropped on every edge.
+        assert_eq!(geo.advance_cache_epoch(), 1);
+        assert!(geo.edge_cache(0).unwrap().is_empty());
+        let post_drift = geo.submit(0, &q).unwrap();
+        assert_eq!(post_drift.source, GeoSource::CoreExact);
+        // ... and the re-escalated answer is re-admitted in the new epoch.
+        assert_eq!(geo.submit(0, &q).unwrap().source, GeoSource::EdgeCache);
+    }
+
+    #[test]
     fn purge_stale_runs_across_edges() {
         let c = cluster();
         let mut geo = GeoSystem::new(&c, "t", GeoConfig::default()).unwrap();
@@ -889,7 +1094,7 @@ mod routing_tests {
                     sibling_hits += 1;
                 }
                 GeoSource::CoreExact => core_hits += 1,
-                GeoSource::EdgeModel => {}
+                GeoSource::EdgeModel | GeoSource::EdgeCache => {}
             }
         }
         assert!(sibling_hits > 30, "siblings answered: {sibling_hits}");

@@ -8,9 +8,10 @@
 //! recorded table are bit-identical to sequential execution regardless
 //! of the thread count.
 
+use sea_cache::{CacheDecision, NodeFragment, SemanticCache};
 use sea_common::{
     AggregateKind, AnalyticalQuery, AnswerValue, BivariateStats, CostMeter, CostModel, CostReport,
-    Record, Rect, Result, SeaError,
+    Record, Rect, Region, Result, SeaError,
 };
 use sea_storage::{NodeId, ScanStats, StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
 use sea_telemetry::{TelemetrySink, TraceContext};
@@ -121,6 +122,9 @@ struct NodeScan {
     failover: bool,
     /// Whether the partition could not be served at all.
     unavailable: bool,
+    /// The node's matched records, cloned for semantic-cache admission
+    /// (`None` unless a cache is attached and the region is cacheable).
+    records: Option<Vec<Record>>,
 }
 
 /// Stateless executor over a [`StorageCluster`].
@@ -132,6 +136,8 @@ pub struct Executor<'a> {
     pool: ExecPool,
     retry: RetryPolicy,
     partial_answers: bool,
+    cache: Option<&'a SemanticCache>,
+    cache_consult: bool,
 }
 
 impl<'a> Executor<'a> {
@@ -147,6 +153,8 @@ impl<'a> Executor<'a> {
             pool: ExecPool::global(),
             retry: RetryPolicy::default(),
             partial_answers: false,
+            cache: None,
+            cache_consult: false,
         }
     }
 
@@ -159,6 +167,8 @@ impl<'a> Executor<'a> {
             pool: ExecPool::global(),
             retry: RetryPolicy::default(),
             partial_answers: false,
+            cache: None,
+            cache_consult: false,
         }
     }
 
@@ -199,6 +209,47 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Attaches a [`SemanticCache`]: the executor consults it before
+    /// scattering (exact and containment hits answer without touching
+    /// any storage node) and offers every successful rectangular answer
+    /// — with its per-node record fragments — for cost-based admission
+    /// after gathering.
+    ///
+    /// A cache instance is scoped to **one logical table**: the cache
+    /// key is (aggregate, region), so callers querying several tables
+    /// through one executor must attach a separate cache per table.
+    /// Consultation and admission happen on the coordinator thread, so
+    /// determinism across [`ExecPool`] sizes is preserved; batch
+    /// execution strips the cache from its inner per-query executors
+    /// (concurrent admissions would be schedule-dependent).
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'a SemanticCache) -> Self {
+        self.cache = Some(cache);
+        self.cache_consult = true;
+        self
+    }
+
+    /// Attaches a [`SemanticCache`] for admission only: answers are
+    /// offered to the cache after execution, but lookups are the
+    /// caller's job (used by `sea-core`'s pipeline, which consults the
+    /// cache itself before deciding between prediction and execution,
+    /// so hits and misses are counted exactly once).
+    #[must_use]
+    pub fn with_cache_populate_only(mut self, cache: &'a SemanticCache) -> Self {
+        self.cache = Some(cache);
+        self.cache_consult = false;
+        self
+    }
+
+    /// Detaches any semantic cache (used by batch execution's inner
+    /// per-query executors).
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self.cache_consult = false;
+        self
+    }
+
     /// The executor's telemetry sink.
     pub fn telemetry(&self) -> &TelemetrySink {
         &self.telemetry
@@ -212,6 +263,96 @@ impl<'a> Executor<'a> {
     /// The executor's worker-thread budget.
     pub fn pool(&self) -> ExecPool {
         self.pool
+    }
+
+    /// Consults the attached [`SemanticCache`] for `query` and, on a
+    /// hit, produces the outcome a cold execution would have produced —
+    /// bit-identical answer, cache-priced cost report — without touching
+    /// any storage node. Returns `None` on a miss or when no cache is
+    /// attached. Exposed so coordinators that own the predict-vs-exact
+    /// decision (`sea-core`'s pipeline, `sea-geo`'s edges) can probe the
+    /// cache before committing to execution.
+    ///
+    /// Exact hits cost one coordinator CPU charge; containment hits pay
+    /// a CPU charge per cached record re-filtered plus the merge — still
+    /// orders of magnitude below a cluster scan, and deterministic.
+    pub fn cache_lookup(&self, query: &AnalyticalQuery) -> Option<Result<QueryOutcome>> {
+        let cache = self.cache?;
+        match cache.lookup(&query.aggregate, &query.region) {
+            CacheDecision::Exact(answer) => {
+                let span = self.telemetry.span("query.executor.cache");
+                span.tag("class", "exact");
+                let mut coord = CostMeter::new();
+                coord.charge_cpu(1);
+                let cost = coord.report_sequential(&self.cost_model);
+                span.record_sim_us(coord.sequential_us(&self.cost_model));
+                Some(Ok(QueryOutcome { answer, cost }))
+            }
+            CacheDecision::Containment(fragments) => {
+                let span = self.telemetry.span("query.executor.cache");
+                span.tag("class", "containment");
+                let derived = self.derive_from_fragments(query, &fragments);
+                if let Ok(out) = &derived {
+                    span.record_sim_us(out.cost.wall_us);
+                }
+                Some(derived)
+            }
+            CacheDecision::Miss { .. } => None,
+        }
+    }
+
+    /// Re-derives a containment-hit answer from cached per-node
+    /// fragments: each fragment's records are re-filtered by the
+    /// (smaller) queried region and folded into a per-node partial, then
+    /// merged in node order — the same records, in the same order, a
+    /// cold scan would have aggregated, so the answer is bit-identical.
+    fn derive_from_fragments(
+        &self,
+        query: &AnalyticalQuery,
+        fragments: &[NodeFragment],
+    ) -> Result<QueryOutcome> {
+        let mut coord = CostMeter::new();
+        let mut partials = Vec::with_capacity(fragments.len());
+        for frag in fragments {
+            coord.charge_cpu(frag.records.len() as u64);
+            let matched: Vec<&Record> = frag
+                .records
+                .iter()
+                .filter(|r| query.region.contains_record(r))
+                .collect();
+            partials.push(make_partial(&query.aggregate, &matched));
+        }
+        coord.charge_cpu(partials.len() as u64);
+        let answer = merge_partials(&query.aggregate, partials)?;
+        let cost = coord.report_sequential(&self.cost_model);
+        Ok(QueryOutcome { answer, cost })
+    }
+
+    /// Offers a freshly computed answer to the attached cache. Only
+    /// complete (no unavailable partitions) rectangular answers with
+    /// collected fragments qualify; the cache applies its own cost-based
+    /// admission on top. Runs on the coordinator thread after gather, so
+    /// admission order — and therefore eviction tie-breaks — is
+    /// deterministic for every pool size.
+    fn maybe_admit(
+        &self,
+        query: &AnalyticalQuery,
+        answer: &AnswerValue,
+        fragments: Option<Vec<NodeFragment>>,
+        cost: &CostReport,
+    ) {
+        let Some(cache) = self.cache else { return };
+        let Some(fragments) = fragments else { return };
+        if cost.nodes_unavailable > 0 {
+            return;
+        }
+        cache.admit(
+            &query.aggregate,
+            &query.region,
+            answer,
+            Some(fragments),
+            cost.wall_us,
+        );
     }
 
     /// Executes `query` over `table` MapReduce-style: every node is
@@ -247,8 +388,13 @@ impl<'a> Executor<'a> {
         let _exec_span = self.telemetry.span_child_of(parent, "query.executor.bdas");
         self.telemetry.incr("query.executor.bdas_queries", 1);
         query.aggregate.validate(self.cluster.dims(table)?)?;
+        if self.cache_consult {
+            if let Some(hit) = self.cache_lookup(query) {
+                return hit;
+            }
+        }
         let nodes: Vec<NodeId> = (0..self.cluster.num_nodes()).collect();
-        let (partials, node_meters, unavailable) = {
+        let (partials, node_meters, unavailable, fragments) = {
             let scatter = self.telemetry.span("query.executor.scatter");
             let scans = self.scatter_scans(table, query, &nodes, BDAS_LAYERS, None)?;
             let out = self.replay_scatter(table, &nodes, "full", &scatter.ctx(), scans);
@@ -273,6 +419,7 @@ impl<'a> Executor<'a> {
         Self::note_availability(&mut cost, nodes.len(), unavailable);
         gather.record_sim_us(coord.sequential_us(&self.cost_model));
         drop(gather);
+        self.maybe_admit(query, &answer, fragments, &cost);
         Ok(QueryOutcome { answer, cost })
     }
 
@@ -305,10 +452,15 @@ impl<'a> Executor<'a> {
             .span_child_of(parent, "query.executor.direct");
         self.telemetry.incr("query.executor.direct_queries", 1);
         query.aggregate.validate(self.cluster.dims(table)?)?;
+        if self.cache_consult {
+            if let Some(hit) = self.cache_lookup(query) {
+                return hit;
+            }
+        }
         let bbox = query.region.bounding_rect();
         let candidates = self.cluster.nodes_for_region(table, &bbox)?;
         let mut coord = CostMeter::new();
-        let (partials, node_meters, unavailable) = {
+        let (partials, node_meters, unavailable, fragments) = {
             let scatter = self.telemetry.span("query.executor.scatter");
             // One request message per engaged node. The fan-out is part
             // of the scatter phase, so its simulated time lands on the
@@ -341,6 +493,7 @@ impl<'a> Executor<'a> {
         Self::note_availability(&mut cost, candidates.len(), unavailable);
         gather.record_sim_us(merge_only.sequential_us(&self.cost_model));
         drop(gather);
+        self.maybe_admit(query, &answer, fragments, &cost);
         Ok(QueryOutcome { answer, cost })
     }
 
@@ -366,6 +519,10 @@ impl<'a> Executor<'a> {
         layers: u64,
         bbox: Option<&Rect>,
     ) -> Result<Vec<NodeScan>> {
+        // Clone matched records only when a cache could admit them: a
+        // cache is attached and the region supports the containment
+        // algebra (rectangles only).
+        let collect = self.cache.is_some() && matches!(query.region, Region::Range(_));
         self.pool
             .run(nodes.len(), |i| {
                 let node = nodes[i];
@@ -394,6 +551,8 @@ impl<'a> Executor<'a> {
                                 retries,
                                 failover: self.cluster.primary_down(node),
                                 unavailable: false,
+                                records: collect
+                                    .then(|| matched.iter().map(|r| (*r).clone()).collect()),
                             });
                         }
                         Err(ref e) if e.is_transient() && retries < self.retry.max_retries => {
@@ -414,6 +573,7 @@ impl<'a> Executor<'a> {
                                 retries,
                                 failover: false,
                                 unavailable: true,
+                                records: None,
                             });
                         }
                         Err(e) => return Err(e),
@@ -447,10 +607,11 @@ impl<'a> Executor<'a> {
         kind: &str,
         scatter_ctx: &TraceContext,
         scans: Vec<NodeScan>,
-    ) -> (Vec<Partial>, Vec<CostMeter>, u64) {
+    ) -> (Vec<Partial>, Vec<CostMeter>, u64, Option<Vec<NodeFragment>>) {
         let mut partials = Vec::with_capacity(scans.len());
         let mut meters = Vec::with_capacity(scans.len());
         let mut unavailable = 0u64;
+        let mut fragments: Option<Vec<NodeFragment>> = None;
         for (node, scan) in nodes.iter().zip(scans) {
             let node_span = self
                 .telemetry
@@ -485,9 +646,15 @@ impl<'a> Executor<'a> {
             if let Some(partial) = scan.partial {
                 partials.push(partial);
             }
+            if let Some(records) = scan.records {
+                fragments.get_or_insert_with(Vec::new).push(NodeFragment {
+                    node: *node as u64,
+                    records,
+                });
+            }
             meters.push(scan.meter);
         }
-        (partials, meters, unavailable)
+        (partials, meters, unavailable, fragments)
     }
 
     /// Executes many queries concurrently in the direct regime, fanning
@@ -519,7 +686,13 @@ impl<'a> Executor<'a> {
         let batch_span = self.telemetry.span_child_of(parent, "query.executor.batch");
         batch_span.tag("queries", queries.len());
         let ctx = batch_span.ctx();
-        let inner = self.clone().with_pool(ExecPool::sequential());
+        // Inner executors run whole queries on worker threads; a shared
+        // cache there would make admission order (and thus eviction
+        // tie-breaks) schedule-dependent, so batches run cache-less.
+        let inner = self
+            .clone()
+            .with_pool(ExecPool::sequential())
+            .without_cache();
         self.pool.run(queries.len(), |i| {
             inner.execute_direct_traced(table, &queries[i], &ctx)
         })
@@ -536,7 +709,10 @@ impl<'a> Executor<'a> {
             .span_child_of(&TraceContext::NONE, "query.executor.batch");
         batch_span.tag("queries", queries.len());
         let ctx = batch_span.ctx();
-        let inner = self.clone().with_pool(ExecPool::sequential());
+        let inner = self
+            .clone()
+            .with_pool(ExecPool::sequential())
+            .without_cache();
         self.pool.run(queries.len(), |i| {
             inner.execute_bdas_traced(table, &queries[i], &ctx)
         })

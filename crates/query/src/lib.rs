@@ -14,6 +14,12 @@
 //! Both return the identical exact answer; what differs is the
 //! [`sea_common::CostReport`]. That difference — measured, not asserted —
 //! is the substance of experiments E1, E7 and E9.
+//!
+//! Either regime can consult a [`sea_cache::SemanticCache`] before
+//! scattering ([`Executor::with_cache`]): exact hits return the stored
+//! answer, containment hits re-derive it from cached per-node record
+//! fragments without touching a single node, and misses execute
+//! normally and populate the cache on the way out (experiment E19).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

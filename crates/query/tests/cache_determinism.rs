@@ -1,0 +1,119 @@
+//! Cache determinism: with a [`SemanticCache`] in front of the
+//! executor, answers, full cost reports, cache statistics, and recorded
+//! telemetry tables must be bit-identical at any [`ExecPool`] thread
+//! count. Consultation and admission happen on the coordinator thread
+//! only, so the hit/miss sequence — and therefore every downstream
+//! number — is independent of scheduling.
+
+use sea_cache::{CacheConfig, CacheStats, SemanticCache};
+use sea_common::{AggregateKind, AnalyticalQuery, Ball, Point, Record, Rect, Region};
+use sea_query::{ExecPool, Executor};
+use sea_storage::{Partitioning, StorageCluster};
+use sea_telemetry::{SpanNode, TelemetrySink, TelemetrySnapshot};
+
+fn build_cluster(nodes: usize) -> StorageCluster {
+    let mut c = StorageCluster::new(nodes, 64);
+    let records: Vec<Record> = (0..2000)
+        .map(|i| {
+            Record::new(
+                i as u64,
+                vec![(i % 100) as f64, (i % 7) as f64, ((i * 31) % 53) as f64],
+            )
+        })
+        .collect();
+    c.load_table("t", records, Partitioning::Hash).unwrap();
+    c
+}
+
+fn aggregate_by_index(idx: usize) -> AggregateKind {
+    match idx {
+        0 => AggregateKind::Count,
+        1 => AggregateKind::Sum { dim: 1 },
+        2 => AggregateKind::Mean { dim: 1 },
+        3 => AggregateKind::Variance { dim: 1 },
+        4 => AggregateKind::Median { dim: 0 },
+        _ => AggregateKind::Quantile { dim: 0, q: 0.75 },
+    }
+}
+
+fn zero_wall(node: &mut SpanNode) {
+    node.wall_us = 0.0;
+    for c in &mut node.children {
+        zero_wall(c);
+    }
+}
+
+/// Runs a repeat-heavy workload through a cached executor with the
+/// given thread budget; returns every outcome (answer *and* full cost
+/// report), the final cache statistics, and the telemetry snapshot with
+/// host wall-clock scrubbed.
+fn cached_run(threads: usize) -> (Vec<String>, CacheStats, TelemetrySnapshot) {
+    let mut cluster = build_cluster(4);
+    let sink = TelemetrySink::recording();
+    cluster.set_telemetry(sink.clone());
+    let cache = SemanticCache::new(CacheConfig {
+        admit_min_cost_us: 0.0,
+        ..CacheConfig::default()
+    })
+    .with_telemetry(sink.clone());
+    let exec = Executor::new(&cluster)
+        .with_pool(ExecPool::new(threads))
+        .with_cache(&cache);
+
+    let outer = Rect::new(vec![10.0, 0.0, 0.0], vec![70.0, 8.0, 60.0]).unwrap();
+    let inner = Rect::new(vec![20.0, 1.0, 5.0], vec![50.0, 6.0, 40.0]).unwrap();
+    let ball = Ball::new(Point::new(vec![40.0, 3.0, 25.0]), 4.0).unwrap();
+    let mut outcomes = Vec::new();
+    let mut query_id = 0u64;
+    for agg_idx in 0..6usize {
+        // Miss, exact hit, containment hit, ball containment hit — the
+        // full classification exercised per aggregate.
+        for region in [
+            Region::Range(outer.clone()),
+            Region::Range(outer.clone()),
+            Region::Range(inner.clone()),
+            Region::Radius(ball.clone()),
+        ] {
+            sink.begin_query(query_id);
+            query_id += 1;
+            let q = AnalyticalQuery::new(region, aggregate_by_index(agg_idx));
+            // Errors (Mean over an empty subspace and friends) must be
+            // identical run to run too, so they stay in the key.
+            outcomes.push(format!("{:?}", exec.execute_direct("t", &q)));
+            outcomes.push(format!("{:?}", exec.execute_bdas("t", &q)));
+        }
+    }
+    let mut snap = sink.snapshot().unwrap();
+    for root in &mut snap.spans.roots {
+        zero_wall(root);
+    }
+    (outcomes, cache.stats(), snap)
+}
+
+#[test]
+fn cached_outputs_are_bit_identical_across_thread_counts() {
+    let (base_outcomes, base_stats, base_snap) = cached_run(1);
+    assert!(base_stats.hits > 0, "the workload produces exact hits");
+    assert!(
+        base_stats.containment_hits > 0,
+        "the workload produces containment hits"
+    );
+    for threads in [2, 8] {
+        let (outcomes, stats, snap) = cached_run(threads);
+        assert_eq!(outcomes, base_outcomes, "{threads} threads: outcomes");
+        assert_eq!(stats, base_stats, "{threads} threads: cache stats");
+        assert_eq!(
+            snap.counters, base_snap.counters,
+            "{threads} threads: counters"
+        );
+        assert_eq!(
+            snap.histograms, base_snap.histograms,
+            "{threads} threads: histograms"
+        );
+        assert_eq!(snap.events, base_snap.events, "{threads} threads: events");
+        assert_eq!(
+            snap.spans, base_snap.spans,
+            "{threads} threads: span forest (ids, parents, tags, sim)"
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! query path.
 //!
 //! The paper frames every claim in resource terms — nodes touched, bytes
-//! moved, layers charged — yet a bare [`CostReport`-style] total per
+//! moved, layers charged — yet a bare `CostReport`-style total per
 //! query says nothing about *where* inside the
 //! pipeline/executor/storage stack the cost accrued or *why* the agent
 //! chose to predict instead of falling back. This crate is the seam that

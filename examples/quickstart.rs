@@ -58,6 +58,7 @@ fn main() -> sea_common::Result<()> {
             AnswerSource::Predicted { .. } => predicted += 1,
             AnswerSource::Exact => exact += 1,
             AnswerSource::Degraded { .. } => unreachable!("no faults injected"),
+            AnswerSource::Cached => unreachable!("no cache attached"),
         }
     }
     println!("agent warm-up: {exact} exact executions, then {predicted} data-less answers");

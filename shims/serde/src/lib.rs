@@ -147,6 +147,24 @@ pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<
     }
 }
 
+/// Like [`field`], but a *missing* field falls back to
+/// `Default::default()` instead of erroring (derive-macro helper for
+/// `#[serde(default)]`). A field that is present but has the wrong
+/// shape still errors, so typos are not silently defaulted away.
+///
+/// # Errors
+///
+/// Field-level shape mismatch on a present field.
+pub fn field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+        None => Ok(T::default()),
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

@@ -6,9 +6,11 @@
 //! Supported shapes (everything this workspace derives on):
 //! named structs, tuple structs (newtype and wider), unit structs, and
 //! enums with unit / tuple / struct variants, all optionally generic.
-//! Enums use serde's externally-tagged encoding. The only recognized
-//! field attribute is `#[serde(skip)]` (skipped on serialize,
-//! `Default::default()` on deserialize).
+//! Enums use serde's externally-tagged encoding. The recognized field
+//! attributes are `#[serde(skip)]` (skipped on serialize,
+//! `Default::default()` on deserialize) and `#[serde(default)]`
+//! (serialized normally; `Default::default()` when missing on
+//! deserialize, so added fields stay backward-compatible).
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
@@ -54,6 +56,7 @@ enum Fields {
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 fn is_ident(t: &TokenTree, word: &str) -> bool {
@@ -172,19 +175,25 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Consumes leading `#[...]` attributes; returns whether any was
-/// `#[serde(skip)]`.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+/// `#[serde(skip)]` / `#[serde(default)]` as `(skip, default)`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
     let mut skip = false;
+    let mut default = false;
     while *i < tokens.len() && punct_char(&tokens[*i]) == Some('#') {
         if let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) {
             let text = attr.stream().to_string();
-            if text.starts_with("serde") && text.contains("skip") {
-                skip = true;
+            if text.starts_with("serde") {
+                if text.contains("skip") {
+                    skip = true;
+                }
+                if text.contains("default") {
+                    default = true;
+                }
             }
         }
         *i += 2;
     }
-    skip
+    (skip, default)
 }
 
 fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
@@ -221,7 +230,7 @@ fn parse_named_fields(group: &Group) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let skip = skip_attrs(&tokens, &mut i);
+        let (skip, default) = skip_attrs(&tokens, &mut i);
         skip_visibility(&tokens, &mut i);
         let Some(TokenTree::Ident(id)) = tokens.get(i) else {
             break;
@@ -229,6 +238,7 @@ fn parse_named_fields(group: &Group) -> Vec<Field> {
         fields.push(Field {
             name: id.to_string(),
             skip,
+            default,
         });
         i += 1; // name
         i += 1; // `:`
@@ -429,6 +439,11 @@ fn de_named_fields_init(fs: &[Field]) -> String {
         .map(|f| {
             if f.skip {
                 format!("{}: ::std::default::Default::default()", f.name)
+            } else if f.default {
+                format!(
+                    "{n}: ::serde::field_or_default(entries, \"{n}\")?",
+                    n = f.name
+                )
             } else {
                 format!("{n}: ::serde::field(entries, \"{n}\")?", n = f.name)
             }

@@ -47,6 +47,7 @@ fn agent_pipeline_full_loop() {
             AnswerSource::Predicted { .. } => predicted += 1,
             AnswerSource::Exact => exact += 1,
             AnswerSource::Degraded { .. } => panic!("no faults injected"),
+            AnswerSource::Cached => panic!("no cache attached"),
         }
     }
     assert!(predicted > 200, "mostly data-less: {predicted}");
