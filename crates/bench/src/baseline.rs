@@ -29,12 +29,13 @@ pub const BASELINE_SCHEMA_VERSION: u64 = 1;
 /// The fixed experiment subset the harness runs: E1 (data-less vs
 /// BDAS), E4 (rank join), E7 (throughput), E8 (storage footprint) —
 /// together they exercise the executor, storage, pipeline, and agent
-/// layers — plus E18 (fault tolerance) and E19 (semantic cache), whose
-/// metrics are recorded for trend-watching only (injected faults
-/// measure the recovery machinery and cache arms deliberately skip
-/// scans, so neither measures the steady-state query path and none of
-/// them gate).
-pub const BASELINE_EXPERIMENTS: [&str; 6] = ["e1", "e4", "e7", "e8", "e18", "e19"];
+/// layers — plus E18 (fault tolerance), E19 (semantic cache), and E20
+/// (multi-tenant admission), whose metrics are recorded for
+/// trend-watching only (injected faults measure the recovery machinery,
+/// cache arms deliberately skip scans, and admission deliberately
+/// rejects load, so none of them measures the steady-state query path
+/// and none of them gate).
+pub const BASELINE_EXPERIMENTS: [&str; 7] = ["e1", "e4", "e7", "e8", "e18", "e19", "e20"];
 
 /// Default relative tolerance for [`compare`]: a gated metric may move
 /// up to this fraction in its bad direction before it counts as a
@@ -240,6 +241,27 @@ pub fn collect() -> sea_common::Result<BenchBaseline> {
                     name: name.to_string(),
                     value: snap.counter(counter) as f64,
                     higher_is_better,
+                    gate: false,
+                });
+            }
+        }
+        if id == "e20" {
+            // The admission tier deliberately rejects part of the load,
+            // so storage counters here measure policy (how much the
+            // noisy tenant got through), not the scan path — trends
+            // only, like E18/E19.
+            for m in &mut metrics {
+                m.gate = false;
+            }
+            for (name, counter) in [
+                ("service_answered", "service.answered"),
+                ("service_rejected_budget", "service.rejected_budget"),
+                ("service_rejected_rate", "service.rejected_rate"),
+            ] {
+                metrics.push(HeadlineMetric {
+                    name: name.to_string(),
+                    value: snap.counter(counter) as f64,
+                    higher_is_better: false,
                     gate: false,
                 });
             }

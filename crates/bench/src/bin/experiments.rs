@@ -14,24 +14,29 @@
 //! With `--trace-out <dir>`, each experiment additionally writes
 //! `<dir>/<id>/trace.json` (Chrome `trace_event` JSON — load it in
 //! `about:tracing` or <https://ui.perfetto.dev>) and
-//! `<dir>/<id>/metrics.prom` (Prometheus text exposition). Without
-//! either flag, experiments run against the no-op sink and print the
-//! same tables they always have.
+//! `<dir>/<id>/metrics.prom` (Prometheus text exposition). With
+//! `--stats-out <dir>`, experiments that serve through the
+//! `sea-service` front door (E20) write `<dir>/<id>/stats.json` — the
+//! per-query ledger's summary / breakdown / top-N report. Without any
+//! flag, experiments run against the no-op sink and print the same
+//! tables they always have.
 
 use std::path::PathBuf;
 
-use sea_bench::experiments::{run_by_id_with, ALL_IDS};
+use sea_bench::experiments::{run_by_id_with, stats_json_by_id, ALL_IDS};
 use sea_telemetry::TelemetrySink;
 
 fn main() {
     let mut json_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut stats_out: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--json-out" || arg == "--trace-out" {
+        if arg == "--json-out" || arg == "--trace-out" || arg == "--stats-out" {
             match args.next() {
                 Some(dir) if arg == "--json-out" => json_out = Some(PathBuf::from(dir)),
+                Some(dir) if arg == "--stats-out" => stats_out = Some(PathBuf::from(dir)),
                 Some(dir) => trace_out = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("{arg} requires a directory argument");
@@ -70,6 +75,12 @@ fn main() {
                         failures += 1;
                     }
                 }
+                if let Some(dir) = &stats_out {
+                    if let Err(e) = write_stats(dir, id) {
+                        eprintln!("experiment {id}: writing stats sidecar failed: {e}");
+                        failures += 1;
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
@@ -80,6 +91,18 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Writes `<dir>/<id>/stats.json` (the service ledger's stats report)
+/// for experiments that have one; a no-op for the rest.
+fn write_stats(dir: &std::path::Path, id: &str) -> std::io::Result<()> {
+    let Some(json) = stats_json_by_id(id, &TelemetrySink::noop()) else {
+        return Ok(());
+    };
+    let json = json.map_err(|e| std::io::Error::other(e.to_string()))?;
+    let exp_dir = dir.join(id);
+    std::fs::create_dir_all(&exp_dir)?;
+    std::fs::write(exp_dir.join("stats.json"), json)
 }
 
 /// Writes `<dir>/<id>/trace.json` (Chrome `trace_event` JSON) and

@@ -21,6 +21,7 @@ mod e16_raw_data;
 mod e17_calibration;
 mod e18_faults;
 mod e19_semantic_cache;
+mod e20_multitenant;
 
 pub use a01_ablations::{run_a1, run_a1_with};
 pub use e01_dataless::{run_e1, run_e1_with};
@@ -42,6 +43,7 @@ pub use e16_raw_data::{run_e16, run_e16_with};
 pub use e17_calibration::{run_e17, run_e17_with};
 pub use e18_faults::{run_e18, run_e18_with};
 pub use e19_semantic_cache::{run_e19, run_e19_with};
+pub use e20_multitenant::{e20_stats_with, run_e20, run_e20_with};
 
 use crate::Report;
 
@@ -84,6 +86,7 @@ pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_comm
         "e17" => run_e17_with(sink),
         "e18" => run_e18_with(sink),
         "e19" => run_e19_with(sink),
+        "e20" => run_e20_with(sink),
         "a1" => run_a1_with(sink),
         other => Err(sea_common::SeaError::NotFound(format!(
             "experiment {other}"
@@ -98,7 +101,24 @@ pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_comm
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "a1",
+    "e16", "e17", "e18", "e19", "e20", "a1",
 ];
+
+/// Per-query ledger stats for experiments that run through the
+/// `sea-service` front door (currently E20): the JSON `--stats-out`
+/// sidecar. Returns `None` for experiments without a service ledger.
+///
+/// # Errors
+///
+/// Experiment-internal errors while re-running the workload.
+pub fn stats_json_by_id(
+    id: &str,
+    sink: &sea_telemetry::TelemetrySink,
+) -> Option<sea_common::Result<String>> {
+    match id.to_ascii_lowercase().as_str() {
+        "e20" => Some(e20_stats_with(sink).and_then(|s| s.to_json())),
+        _ => None,
+    }
+}

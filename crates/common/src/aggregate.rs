@@ -70,6 +70,24 @@ pub enum AggregateKind {
 }
 
 impl AggregateKind {
+    /// Short stable operator name (no parameters): the grouping key used
+    /// by cost ledgers and stats breakdowns, where `Sum{dim:1}` and
+    /// `Sum{dim:2}` should aggregate into one `sum` bucket.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggregateKind::Count => "count",
+            AggregateKind::Sum { .. } => "sum",
+            AggregateKind::Mean { .. } => "mean",
+            AggregateKind::Variance { .. } => "variance",
+            AggregateKind::Min { .. } => "min",
+            AggregateKind::Max { .. } => "max",
+            AggregateKind::Median { .. } => "median",
+            AggregateKind::Quantile { .. } => "quantile",
+            AggregateKind::Correlation { .. } => "correlation",
+            AggregateKind::Regression { .. } => "regression",
+        }
+    }
+
     /// Validates the operator against a dataset dimensionality.
     ///
     /// # Errors

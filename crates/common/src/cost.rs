@@ -264,16 +264,31 @@ impl CostReport {
 
     /// Combines two reports executed one after the other. Availability
     /// composes pessimistically: the combined answer is only as complete
-    /// as its least-complete part, and unavailable partitions sum.
+    /// as its least-complete part (clamped into `[0, 1]`, and a NaN
+    /// fraction — completeness unknown — composes as 0, not as complete:
+    /// `f64::min` would silently discard the NaN operand), and
+    /// unavailable partitions sum (saturating). Money and wall-clock add;
+    /// a NaN cost input deliberately propagates so a poisoned bill stays
+    /// loud instead of laundering into a finite total.
     pub fn then(&self, later: &CostReport) -> CostReport {
         let mut totals = self.totals;
         totals.merge(&later.totals);
+        let answered_fraction =
+            if self.answered_fraction.is_nan() || later.answered_fraction.is_nan() {
+                0.0
+            } else {
+                self.answered_fraction
+                    .min(later.answered_fraction)
+                    .clamp(0.0, 1.0)
+            };
         CostReport {
             totals,
             wall_us: self.wall_us + later.wall_us,
             money: self.money + later.money,
-            answered_fraction: self.answered_fraction.min(later.answered_fraction),
-            nodes_unavailable: self.nodes_unavailable + later.nodes_unavailable,
+            answered_fraction,
+            nodes_unavailable: self
+                .nodes_unavailable
+                .saturating_add(later.nodes_unavailable),
         }
     }
 }
@@ -398,6 +413,74 @@ mod tests {
         let c = a.then(&b);
         assert_eq!(c.answered_fraction, 0.5);
         assert_eq!(c.nodes_unavailable, 3);
+    }
+
+    #[test]
+    fn then_chains_a_full_failure_with_a_partial_answer() {
+        // A fully-failed leg (nothing answered, every partition down)
+        // followed by a partial retry: the chain is only as complete as
+        // its worst leg and the unavailable partitions accumulate.
+        let mut failed = CostReport::zero();
+        failed.answered_fraction = 0.0;
+        failed.nodes_unavailable = 4;
+        let mut partial = CostReport::zero();
+        partial.answered_fraction = 0.6;
+        partial.nodes_unavailable = 1;
+        for chained in [failed.then(&partial), partial.then(&failed)] {
+            assert_eq!(chained.answered_fraction, 0.0);
+            assert_eq!(chained.nodes_unavailable, 5);
+        }
+    }
+
+    #[test]
+    fn then_treats_nan_answered_fraction_as_zero() {
+        // f64::min(NaN, x) returns x, which would silently count an
+        // unknown-completeness report as fully answered. Pessimistic
+        // composition maps NaN to 0 on either side.
+        let mut unknown = CostReport::zero();
+        unknown.answered_fraction = f64::NAN;
+        let complete = CostReport::zero();
+        assert_eq!(unknown.then(&complete).answered_fraction, 0.0);
+        assert_eq!(complete.then(&unknown).answered_fraction, 0.0);
+        assert_eq!(unknown.then(&unknown).answered_fraction, 0.0);
+    }
+
+    #[test]
+    fn then_clamps_out_of_range_fractions() {
+        let mut over = CostReport::zero();
+        over.answered_fraction = 1.5;
+        let mut under = CostReport::zero();
+        under.answered_fraction = -0.25;
+        assert_eq!(over.then(&over).answered_fraction, 1.0);
+        assert_eq!(over.then(&under).answered_fraction, 0.0);
+    }
+
+    #[test]
+    fn then_saturates_unavailable_partition_counts() {
+        let mut a = CostReport::zero();
+        a.nodes_unavailable = u64::MAX - 1;
+        let mut b = CostReport::zero();
+        b.nodes_unavailable = 7;
+        assert_eq!(a.then(&b).nodes_unavailable, u64::MAX);
+    }
+
+    #[test]
+    fn then_keeps_nan_money_and_wall_loud() {
+        // A poisoned bill must not launder into a finite total: NaN
+        // money/wall propagates through composition (and only NaN does —
+        // finite legs still add).
+        let mut poisoned = CostReport::zero();
+        poisoned.money = f64::NAN;
+        poisoned.wall_us = f64::NAN;
+        let mut fine = CostReport::zero();
+        fine.money = 2.5;
+        fine.wall_us = 100.0;
+        let chained = poisoned.then(&fine);
+        assert!(chained.money.is_nan());
+        assert!(chained.wall_us.is_nan());
+        let clean = fine.then(&fine);
+        assert_eq!(clean.money, 5.0);
+        assert_eq!(clean.wall_us, 200.0);
     }
 
     #[test]
@@ -532,6 +615,34 @@ mod prop_tests {
                 + report.totals.wan_bytes as f64 / 1e9 * model.money_per_wan_gb;
             prop_assert!(close(report.money, rebuilt), "{} vs {rebuilt}", report.money);
             prop_assert!(report.wall_us >= 0.0 && report.money >= 0.0);
+        }
+
+        #[test]
+        fn then_composes_totals_costs_and_availability(
+            a in meter(), b in meter(),
+            fa in 0.0f64..1.0, fb in 0.0f64..1.0,
+            ua in 0..1_000u64, ub in 0..1_000u64,
+        ) {
+            let model = CostModel::default();
+            let mut ra = a.report_sequential(&model);
+            ra.answered_fraction = fa;
+            ra.nodes_unavailable = ua;
+            let mut rb = b.report_sequential(&model);
+            rb.answered_fraction = fb;
+            rb.nodes_unavailable = ub;
+            let c = ra.then(&rb);
+            prop_assert_eq!(c.totals, merged(&a, &b));
+            prop_assert!(close(c.wall_us, ra.wall_us + rb.wall_us));
+            prop_assert!(close(c.money, ra.money + rb.money));
+            prop_assert_eq!(c.answered_fraction, fa.min(fb));
+            prop_assert!((0.0..=1.0).contains(&c.answered_fraction));
+            prop_assert_eq!(c.nodes_unavailable, ua + ub);
+            // `then` is order-insensitive in everything but nothing:
+            // both orders agree on every field.
+            let d = rb.then(&ra);
+            prop_assert_eq!(c.answered_fraction, d.answered_fraction);
+            prop_assert_eq!(c.nodes_unavailable, d.nodes_unavailable);
+            prop_assert_eq!(c.totals, d.totals);
         }
 
         #[test]

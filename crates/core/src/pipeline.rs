@@ -53,6 +53,20 @@ pub enum AnswerSource {
     },
 }
 
+impl AnswerSource {
+    /// Short stable provenance name: the grouping key used by cost
+    /// ledgers and stats breakdowns (parameters like the error estimate
+    /// are dropped so all predictions land in one `predicted` bucket).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnswerSource::Predicted { .. } => "predicted",
+            AnswerSource::Exact => "exact",
+            AnswerSource::Cached => "cached",
+            AnswerSource::Degraded { .. } => "degraded",
+        }
+    }
+}
+
 /// The outcome of one query through the pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProcessOutcome {

@@ -1,0 +1,356 @@
+//! The serving path: tenant registry, deterministic admission control,
+//! and per-request ledger accounting in front of an [`Executor`] /
+//! [`AgentPipeline`].
+//!
+//! Everything is driven by *simulated* time: the service clock advances
+//! by each answered query's simulated `wall_us` (plus explicit
+//! [`QueryService::advance_clock`] calls), token buckets refill against
+//! that clock, and budgets meter simulated money — no host wall clock
+//! and no randomness anywhere on the admission path, so a replayed
+//! workload produces a bit-identical ledger at any thread count.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sea_common::{AnalyticalQuery, AnswerValue, Result, SeaError};
+use sea_core::AgentPipeline;
+use sea_query::Executor;
+
+use crate::ledger::{Disposition, LedgerRow, QueryLedger};
+
+/// Per-tenant admission policy. The default is fully open: no budget,
+/// no rate limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantConfig {
+    /// Cap on cumulative simulated money; once spend reaches the cap,
+    /// further queries are rejected before execution. Overshoot is
+    /// bounded by one query (admission checks *before* executing, so
+    /// the final admitted query may carry spend past the cap).
+    pub money_budget: Option<f64>,
+    /// Token-bucket refill rate in queries per simulated second.
+    /// `None` disables rate limiting.
+    pub rate_per_sec: Option<f64>,
+    /// Token-bucket capacity (burst size); also the initial fill.
+    pub burst: f64,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            money_budget: None,
+            rate_per_sec: None,
+            burst: 1.0,
+        }
+    }
+}
+
+/// Monotone per-tenant usage counters, maintained by the serving path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantUsage {
+    /// Requests submitted (all dispositions).
+    pub submitted: u64,
+    /// Requests answered.
+    pub answered: u64,
+    /// Requests rejected on budget.
+    pub rejected_budget: u64,
+    /// Requests rejected on rate.
+    pub rejected_rate: u64,
+    /// Requests that failed in execution.
+    pub failed: u64,
+    /// Cumulative simulated money spent.
+    pub money: f64,
+    /// Cumulative simulated wall microseconds consumed.
+    pub wall_us: f64,
+}
+
+struct TenantEntry {
+    config: TenantConfig,
+    usage: TenantUsage,
+    tokens: f64,
+    last_refill_us: f64,
+    pipeline: Option<AgentPipeline>,
+}
+
+impl TenantEntry {
+    fn new(config: TenantConfig, pipeline: Option<AgentPipeline>) -> Self {
+        TenantEntry {
+            config,
+            usage: TenantUsage::default(),
+            tokens: config.burst,
+            last_refill_us: 0.0,
+            pipeline,
+        }
+    }
+
+    /// Refills the token bucket for simulated time elapsed since the
+    /// last refill, capped at the burst size.
+    fn refill(&mut self, now_us: f64) {
+        if let Some(rate) = self.config.rate_per_sec {
+            let elapsed = (now_us - self.last_refill_us).max(0.0);
+            self.tokens = (self.tokens + rate * elapsed / 1e6).min(self.config.burst);
+        }
+        self.last_refill_us = now_us;
+    }
+}
+
+/// The result of submitting one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOutcome {
+    /// How the request was disposed of.
+    pub disposition: Disposition,
+    /// The answer, when `disposition` is [`Disposition::Answered`].
+    pub answer: Option<AnswerValue>,
+    /// The ledger row recorded for this request.
+    pub row: LedgerRow,
+}
+
+/// Multi-tenant front door over one table of a storage cluster.
+///
+/// Tenants execute either through the shared exact [`Executor`]
+/// ([`QueryService::register_tenant`]) or through their own
+/// [`AgentPipeline`] ([`QueryService::register_tenant_with_pipeline`]),
+/// in which case answers may be predicted, cached, or degraded and the
+/// ledger records the provenance.
+pub struct QueryService<'a> {
+    executor: Executor<'a>,
+    table: String,
+    tenants: BTreeMap<String, TenantEntry>,
+    ledger: Arc<QueryLedger>,
+    sim_now_us: f64,
+    seq: u64,
+}
+
+impl<'a> QueryService<'a> {
+    /// Creates a service over `executor`, answering against `table`.
+    pub fn new(executor: Executor<'a>, table: impl Into<String>) -> Self {
+        QueryService {
+            executor,
+            table: table.into(),
+            tenants: BTreeMap::new(),
+            ledger: Arc::new(QueryLedger::default()),
+            sim_now_us: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// Registers a tenant served by the shared exact executor.
+    ///
+    /// # Errors
+    ///
+    /// If the tenant name is already registered.
+    pub fn register_tenant(&mut self, name: impl Into<String>, config: TenantConfig) -> Result<()> {
+        self.register(name.into(), config, None)
+    }
+
+    /// Registers a tenant served by its own [`AgentPipeline`] (which
+    /// may predict, serve from its semantic cache, or degrade).
+    ///
+    /// # Errors
+    ///
+    /// If the tenant name is already registered.
+    pub fn register_tenant_with_pipeline(
+        &mut self,
+        name: impl Into<String>,
+        config: TenantConfig,
+        pipeline: AgentPipeline,
+    ) -> Result<()> {
+        self.register(name.into(), config, Some(pipeline))
+    }
+
+    fn register(
+        &mut self,
+        name: String,
+        config: TenantConfig,
+        pipeline: Option<AgentPipeline>,
+    ) -> Result<()> {
+        if self.tenants.contains_key(&name) {
+            return Err(SeaError::invalid(format!(
+                "tenant {name:?} already registered"
+            )));
+        }
+        let mut entry = TenantEntry::new(config, pipeline);
+        entry.last_refill_us = self.sim_now_us;
+        self.tenants.insert(name, entry);
+        Ok(())
+    }
+
+    /// The shared ledger handle; hand this (plus the telemetry sink) to
+    /// a [`StatsService`](crate::StatsService) for read-only analytics.
+    pub fn ledger(&self) -> Arc<QueryLedger> {
+        Arc::clone(&self.ledger)
+    }
+
+    /// Current simulated service time, microseconds.
+    pub fn sim_now_us(&self) -> f64 {
+        self.sim_now_us
+    }
+
+    /// Advances the simulated clock (e.g. to model idle time between
+    /// workload waves, letting token buckets refill).
+    pub fn advance_clock(&mut self, us: f64) {
+        self.sim_now_us += us.max(0.0);
+    }
+
+    /// A tenant's usage counters, if registered.
+    pub fn tenant_usage(&self, name: &str) -> Option<TenantUsage> {
+        self.tenants.get(name).map(|t| t.usage)
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.tenants.keys().cloned().collect()
+    }
+
+    /// The executor's telemetry sink.
+    pub fn telemetry(&self) -> &sea_telemetry::TelemetrySink {
+        self.executor.telemetry()
+    }
+
+    /// Submits one query on behalf of `tenant`: refill the tenant's
+    /// token bucket, check budget then rate, execute if admitted, and
+    /// record a ledger row whatever happens.
+    ///
+    /// # Errors
+    ///
+    /// Only for an unknown tenant. Execution failures are *not* errors
+    /// at this layer: they are recorded as [`Disposition::Failed`] rows
+    /// and returned in the outcome, so one tenant's faults cannot crash
+    /// another tenant's service loop.
+    pub fn submit(&mut self, tenant: &str, query: &AnalyticalQuery) -> Result<SubmitOutcome> {
+        let entry = self
+            .tenants
+            .get_mut(tenant)
+            .ok_or_else(|| SeaError::invalid(format!("unknown tenant {tenant:?}")))?;
+        let seq = self.seq;
+        self.seq += 1;
+        let now = self.sim_now_us;
+        let agg = query.aggregate.label();
+        entry.refill(now);
+        entry.usage.submitted += 1;
+
+        // Budget first: a tenant out of money is rejected even when it
+        // has tokens, so budget exhaustion cannot be worked around by
+        // pacing.
+        self.executor.telemetry().incr("service.submitted", 1);
+        if let Some(budget) = entry.config.money_budget {
+            if entry.usage.money >= budget {
+                entry.usage.rejected_budget += 1;
+                self.executor.telemetry().incr("service.rejected_budget", 1);
+                let row = LedgerRow::unanswered(seq, tenant, agg, Disposition::RejectedBudget, now);
+                self.ledger.append(row.clone());
+                return Ok(SubmitOutcome {
+                    disposition: Disposition::RejectedBudget,
+                    answer: None,
+                    row,
+                });
+            }
+        }
+        if entry.config.rate_per_sec.is_some() {
+            if entry.tokens < 1.0 {
+                entry.usage.rejected_rate += 1;
+                self.executor.telemetry().incr("service.rejected_rate", 1);
+                let row = LedgerRow::unanswered(seq, tenant, agg, Disposition::RejectedRate, now);
+                self.ledger.append(row.clone());
+                return Ok(SubmitOutcome {
+                    disposition: Disposition::RejectedRate,
+                    answer: None,
+                    row,
+                });
+            }
+            entry.tokens -= 1.0;
+        }
+
+        // Admitted: execute, attributing telemetry counter deltas and
+        // cache-stat deltas to this request (submission is serialized
+        // through `&mut self`, so the deltas are unambiguous).
+        let sink = self.executor.telemetry();
+        let retries_before = sink.counter_value("query.retries");
+        let failovers_before = sink.counter_value("query.failovers");
+        let cache_before = entry
+            .pipeline
+            .as_ref()
+            .and_then(|p| p.cache())
+            .map(|c| c.stats());
+        let outcome = match entry.pipeline.as_mut() {
+            Some(pipe) => pipe
+                .process(&self.executor, query)
+                .map(|o| (o.answer, o.cost, o.source.label())),
+            None => self
+                .executor
+                .execute_direct(&self.table, query)
+                .map(|o| (o.answer, o.cost, "exact")),
+        };
+        let sink = self.executor.telemetry();
+        let retries = sink.counter_value("query.retries") - retries_before;
+        let failovers = sink.counter_value("query.failovers") - failovers_before;
+        let cache_class = match (
+            cache_before,
+            entry
+                .pipeline
+                .as_ref()
+                .and_then(|p| p.cache())
+                .map(|c| c.stats()),
+        ) {
+            (Some(before), Some(after)) => {
+                if after.hits > before.hits {
+                    "exact"
+                } else if after.containment_hits > before.containment_hits {
+                    "containment"
+                } else {
+                    "miss"
+                }
+            }
+            _ => "none",
+        };
+
+        match outcome {
+            Ok((answer, cost, provenance)) => {
+                let source = if cost.answered_fraction < 1.0 {
+                    "partial"
+                } else {
+                    provenance
+                };
+                entry.usage.answered += 1;
+                self.executor.telemetry().incr("service.answered", 1);
+                entry.usage.money += cost.money;
+                entry.usage.wall_us += cost.wall_us;
+                self.sim_now_us += cost.wall_us;
+                let row = LedgerRow {
+                    seq,
+                    tenant: tenant.to_string(),
+                    aggregate: agg.to_string(),
+                    disposition: Disposition::Answered,
+                    source: source.to_string(),
+                    sim_time_us: now,
+                    money: cost.money,
+                    wall_us: cost.wall_us,
+                    answered_fraction: cost.answered_fraction,
+                    nodes_unavailable: cost.nodes_unavailable,
+                    retries,
+                    failovers,
+                    cache_class: cache_class.to_string(),
+                };
+                self.ledger.append(row.clone());
+                Ok(SubmitOutcome {
+                    disposition: Disposition::Answered,
+                    answer: Some(answer),
+                    row,
+                })
+            }
+            Err(_) => {
+                entry.usage.failed += 1;
+                self.executor.telemetry().incr("service.failed", 1);
+                let mut row = LedgerRow::unanswered(seq, tenant, agg, Disposition::Failed, now);
+                row.retries = retries;
+                row.failovers = failovers;
+                row.cache_class = cache_class.to_string();
+                self.ledger.append(row.clone());
+                Ok(SubmitOutcome {
+                    disposition: Disposition::Failed,
+                    answer: None,
+                    row,
+                })
+            }
+        }
+    }
+}

@@ -30,7 +30,9 @@ pub const SIM_PID: u64 = 2;
 
 /// Renders the snapshot's metrics registry (plus span/event-ring
 /// bookkeeping) in the Prometheus text exposition format, version
-/// 0.0.4. Metric names have `.`/`-` mapped to `_`.
+/// 0.0.4. Metric names are passed through [`sanitize`] (so internal
+/// dotted names like `query.retries` surface as `query_retries`), and
+/// any label name would go through [`sanitize_label`].
 pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     for c in &snap.counters {
@@ -180,8 +182,15 @@ fn meta_event(pid: u64, tid: u64, name: &str, value: &str) -> String {
     )
 }
 
-fn sanitize(name: &str) -> String {
-    name.chars()
+/// Maps an internal dotted metric name (`query.retries`) to a legal
+/// Prometheus metric name (`query_retries`): metric names must match
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` per the text exposition format, so every
+/// other character becomes `_`, a leading digit gets an `_` prefix, and
+/// an empty name falls back to a bare `_` rather than emitting a
+/// metric line no scraper would parse.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
                 c
@@ -189,7 +198,35 @@ fn sanitize(name: &str) -> String {
                 '_'
             }
         })
-        .collect()
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// [`sanitize`] for label names, which are stricter than metric names:
+/// `[a-zA-Z_][a-zA-Z0-9_]*` — no colon allowed — and names starting
+/// with `__` are reserved for Prometheus internals, so a sanitized
+/// label never grows a double-underscore prefix.
+pub fn sanitize_label(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    while out.starts_with("__") {
+        out.remove(0);
+    }
+    out
 }
 
 /// Shortest-round-trip float formatting, with non-finite values mapped
@@ -300,5 +337,45 @@ mod tests {
     fn json_strings_are_escaped() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn sanitize_produces_legal_metric_names() {
+        assert_eq!(sanitize("query.retries"), "query_retries");
+        assert_eq!(sanitize("cache-hit.rate"), "cache_hit_rate");
+        assert_eq!(sanitize("ns:metric"), "ns:metric");
+        assert_eq!(sanitize("2fast·p99"), "_2fast_p99");
+        assert_eq!(sanitize(""), "_");
+        assert_eq!(sanitize("already_fine"), "already_fine");
+    }
+
+    #[test]
+    fn sanitize_label_is_stricter_than_metric_names() {
+        // Labels may not contain colons and may not start with the
+        // reserved `__` prefix.
+        assert_eq!(sanitize_label("ns:label"), "ns_label");
+        assert_eq!(sanitize_label("tenant.id"), "tenant_id");
+        assert_eq!(sanitize_label("9lives"), "_9lives");
+        assert_eq!(sanitize_label("__reserved"), "_reserved");
+        assert_eq!(sanitize_label("____deep"), "_deep");
+        assert_eq!(sanitize_label(""), "_");
+    }
+
+    #[test]
+    fn illegal_metric_names_never_reach_the_exposition() {
+        let sink = TelemetrySink::recording();
+        sink.incr("query.retries", 2);
+        sink.incr("2nd.class-metric", 1);
+        let text = prometheus_text(&sink.snapshot().unwrap());
+        assert!(text.contains("# TYPE query_retries counter\nquery_retries 2\n"));
+        assert!(text.contains("# TYPE _2nd_class_metric counter\n_2nd_class_metric 1\n"));
+        // Every emitted line starts with a legal name character.
+        for line in text.lines() {
+            let first = line.chars().next().unwrap();
+            assert!(
+                first == '#' || first.is_ascii_alphabetic() || first == '_' || first == ':',
+                "illegal exposition line: {line}"
+            );
+        }
     }
 }

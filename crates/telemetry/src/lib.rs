@@ -126,6 +126,15 @@ impl TelemetrySink {
         }
     }
 
+    /// Reads a counter's current value without registering it: 0 for a
+    /// `Noop` sink or a name never incremented, and the read leaves no
+    /// trace in snapshots. Lets read-only consumers (the service
+    /// ledger's per-request counter deltas) observe the registry without
+    /// perturbing it.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.recorder().map_or(0, |r| r.metrics.counter_value(name))
+    }
+
     /// Sets a gauge to an absolute value.
     pub fn gauge_set(&self, name: &str, value: f64) {
         if let Some(r) = self.recorder() {
@@ -328,6 +337,19 @@ mod tests {
         assert_eq!(back.counter("c"), 2);
         assert_eq!(back.spans.roots[0].name, "a");
         assert_eq!(back.event_count("e"), 1);
+    }
+
+    #[test]
+    fn counter_value_reads_without_registering() {
+        let sink = TelemetrySink::recording();
+        assert_eq!(sink.counter_value("never.touched"), 0);
+        assert!(
+            sink.snapshot().unwrap().counters.is_empty(),
+            "a read must not register the counter"
+        );
+        sink.incr("query.retries", 3);
+        assert_eq!(sink.counter_value("query.retries"), 3);
+        assert_eq!(TelemetrySink::noop().counter_value("query.retries"), 0);
     }
 
     #[test]

@@ -40,6 +40,13 @@ impl Counter {
     pub fn incr(&self) {
         self.add(1);
     }
+
+    /// Current value (0 for a handle from a `Noop` sink).
+    pub fn value(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
 }
 
 #[derive(Debug, Default)]
@@ -65,6 +72,17 @@ impl MetricsRegistry {
             return Arc::clone(cell);
         }
         Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    /// Reads a counter's current value *without* registering it: a name
+    /// never incremented reads 0 and leaves no trace in snapshots, so
+    /// read-only consumers (the service ledger's per-request
+    /// retry/failover deltas) cannot perturb the recorded table set.
+    pub(crate) fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .get(name)
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
     }
 
     pub(crate) fn gauge_set(&self, name: &str, value: f64) {
@@ -284,6 +302,18 @@ mod tests {
         a.fetch_add(2, Ordering::Relaxed);
         b.fetch_add(3, Ordering::Relaxed);
         assert_eq!(reg.counter_snapshots()[0].value, 5);
+    }
+
+    #[test]
+    fn counter_handles_read_back_their_value() {
+        let reg = MetricsRegistry::default();
+        let handle = Counter::new(Some(reg.counter("x")));
+        assert_eq!(handle.value(), 0);
+        handle.add(7);
+        assert_eq!(handle.value(), 7);
+        assert_eq!(reg.counter_value("x"), 7);
+        assert_eq!(reg.counter_value("absent"), 0);
+        assert_eq!(Counter::default().value(), 0);
     }
 
     #[test]

@@ -71,6 +71,16 @@ fn synthetic_snapshot() -> TelemetrySnapshot {
     };
     TelemetrySnapshot {
         counters: vec![
+            // A leading digit plus unicode: exercises the `_`-prefix and
+            // char-replacement rules of the exposition sanitizer.
+            CounterSnapshot {
+                name: "2fast·cache-hits".to_string(),
+                value: 9,
+            },
+            CounterSnapshot {
+                name: "query.retries".to_string(),
+                value: 4,
+            },
             CounterSnapshot {
                 name: "storage.node.blocks_read".to_string(),
                 value: 12,

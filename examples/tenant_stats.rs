@@ -1,0 +1,180 @@
+//! Tenant stats: run three tenants through the `sea-service` front door
+//! — a dashboard on its own agent pipeline + semantic cache, an ad hoc
+//! analyst on the exact executor, and a crawler throttled by a
+//! simulated-money budget and a token-bucket rate limit — then read the
+//! per-request cost ledger back through the read-only `StatsService`:
+//! summary, range filters, tenant × aggregate × source breakdown,
+//! top-N most expensive, and the JSON report `--stats-out` writes.
+//!
+//! Everything runs on the simulated clock, so the whole transcript is
+//! deterministic at any `SEA_EXEC_THREADS` setting.
+//!
+//! ```text
+//! cargo run -p sea-bench --release --example tenant_stats
+//! ```
+
+use std::sync::Arc;
+
+use sea_cache::{CacheConfig, SemanticCache};
+use sea_common::{AggregateKind, AnalyticalQuery, Point, Rect, Region};
+use sea_core::{AgentConfig, AgentPipeline, ExecMode};
+use sea_query::Executor;
+use sea_service::{QueryService, StatsFilter, StatsService, TenantConfig};
+use sea_storage::{Partitioning, StorageCluster};
+use sea_telemetry::TelemetrySink;
+use sea_workload::{DataGenerator, DataSpec};
+
+const ROUNDS: usize = 10;
+/// Simulated idle time between rounds; refills token buckets.
+const ROUND_GAP_US: f64 = 1_000_000.0;
+
+/// The dashboard cycles four fixed hotspot COUNTs, so repeats hit its
+/// semantic cache (or, once the agent is trained, are predicted).
+fn dashboard_query(i: usize) -> sea_common::Result<AnalyticalQuery> {
+    let extent = 6.0 + (i % 4) as f64;
+    Ok(AnalyticalQuery::new(
+        Region::Range(Rect::centered(
+            &Point::new(vec![50.0, 50.0]),
+            &[extent, extent],
+        )?),
+        AggregateKind::Count,
+    ))
+}
+
+/// The analyst asks scattered narrow COUNTs.
+fn analyst_query(i: usize) -> sea_common::Result<AnalyticalQuery> {
+    let c = 20.0 + (i % 7) as f64 * 9.0;
+    Ok(AnalyticalQuery::new(
+        Region::Range(Rect::centered(&Point::new(vec![c, c]), &[5.0, 7.0])?),
+        AggregateKind::Count,
+    ))
+}
+
+/// The crawler floods wide MEDIANs — holistic, so every selected value
+/// ships to the coordinator and each query is expensive.
+fn crawler_query(i: usize) -> sea_common::Result<AnalyticalQuery> {
+    let c = 30.0 + (i % 5) as f64 * 8.0;
+    Ok(AnalyticalQuery::new(
+        Region::Range(Rect::centered(&Point::new(vec![c, 50.0]), &[18.0, 25.0])?),
+        AggregateKind::Median { dim: 0 },
+    ))
+}
+
+fn main() -> sea_common::Result<()> {
+    // 1. A shared cluster with a recording sink, so the stats report
+    //    also carries the service.* / query.* counter table.
+    let domain = Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])?;
+    let data = DataGenerator::new(DataSpec::Uniform { domain }, 7).generate(50_000)?;
+    let mut cluster = StorageCluster::new(8, 512);
+    cluster.load_table("sensors", data, Partitioning::Hash)?;
+    let sink = TelemetrySink::recording();
+    cluster.set_telemetry(sink.clone());
+
+    // Calibrate the crawler's budget from one probe: enough money for
+    // ~10 of its queries, far below its 60-query appetite.
+    let probe = Executor::new(&cluster)
+        .execute_direct("sensors", &crawler_query(0)?)?
+        .cost
+        .money;
+    let budget = 10.0 * probe;
+
+    // 2. The front door: three tenants, three policies.
+    let mut svc = QueryService::new(Executor::new(&cluster), "sensors");
+    let cache = Arc::new(SemanticCache::new(CacheConfig {
+        admit_min_cost_us: 0.0,
+        ..CacheConfig::default()
+    }));
+    let pipeline =
+        AgentPipeline::new(2, AgentConfig::default(), "sensors", 0.15, ExecMode::Direct)?
+            .with_cache(cache);
+    svc.register_tenant_with_pipeline("dashboard", TenantConfig::default(), pipeline)?;
+    svc.register_tenant("analyst", TenantConfig::default())?;
+    svc.register_tenant(
+        "crawler",
+        TenantConfig {
+            money_budget: Some(budget),
+            rate_per_sec: Some(2.0),
+            burst: 3.0,
+        },
+    )?;
+
+    // 3. Ten rounds of interleaved load: the dashboard refreshes twice,
+    //    the analyst asks once, the crawler floods six times.
+    let mut i = 0;
+    for _ in 0..ROUNDS {
+        for _ in 0..2 {
+            svc.submit("dashboard", &dashboard_query(i)?)?;
+            i += 1;
+        }
+        svc.submit("analyst", &analyst_query(i)?)?;
+        for _ in 0..6 {
+            svc.submit("crawler", &crawler_query(i)?)?;
+            i += 1;
+        }
+        svc.advance_clock(ROUND_GAP_US);
+    }
+    println!("tenant      submitted answered rej_budget rej_rate      money");
+    for tenant in svc.tenants() {
+        let u = svc.tenant_usage(&tenant).expect("registered");
+        println!(
+            "{tenant:<12} {:>8} {:>8} {:>10} {:>8} {:>10.3e}",
+            u.submitted, u.answered, u.rejected_budget, u.rejected_rate, u.money
+        );
+    }
+
+    // 4. The read path: a frozen snapshot of the ledger, read without
+    //    touching the serving path.
+    let stats = StatsService::new(&svc.ledger(), sink.clone());
+    let all = stats.summary(&StatsFilter::default());
+    println!(
+        "\nledger: {} rows, {} answered, {} rejected, total money {:.3e}, mean {:.1} us",
+        all.queries,
+        all.answered,
+        all.rejected_budget + all.rejected_rate,
+        all.total_money,
+        all.mean_wall_us
+    );
+
+    // Range filters: one tenant, and the first three simulated seconds.
+    let crawler = stats.summary(&StatsFilter {
+        tenant: Some("crawler".into()),
+        ..StatsFilter::default()
+    });
+    let early = stats.summary(&StatsFilter {
+        sim_time_us: Some((0.0, 3_000_000.0)),
+        ..StatsFilter::default()
+    });
+    println!(
+        "crawler alone: {}/{} answered; first 3 simulated s: {} submissions",
+        crawler.answered, crawler.queries, early.queries
+    );
+
+    // Tenant × aggregate × source: rejected load shows up next to the
+    // served load, and the dashboard's provenance mix is visible.
+    println!("\ntenant      aggregate source        queries      money");
+    for cell in stats.breakdown(&StatsFilter::default()) {
+        println!(
+            "{:<12} {:<9} {:<13} {:>7} {:>10.3e}",
+            cell.tenant, cell.aggregate, cell.source, cell.queries, cell.money
+        );
+    }
+
+    let top = stats.top_expensive(3, &StatsFilter::default());
+    println!("\ntop-3 most expensive (tenant, seq, money):");
+    for row in &top {
+        println!("  {} seq={} money={:.3e}", row.tenant, row.seq, row.money);
+    }
+
+    // 5. The full report is what `--stats-out` writes as stats.json.
+    let report = stats.report(3);
+    let service_counters: Vec<_> = report
+        .counters
+        .iter()
+        .filter(|c| c.name.starts_with("service."))
+        .collect();
+    for c in &service_counters {
+        println!("{} = {}", c.name, c.value);
+    }
+    println!("stats.json: {} bytes", report.to_json()?.len());
+    Ok(())
+}
