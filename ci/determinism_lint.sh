@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Determinism lint: the answer path must never read a wall clock or an
+# unseeded RNG. Every simulated cost, window boundary, SLO burn rate,
+# and anomaly score is derived from the simulated clock, so a single
+# `Instant::now()` on the wrong path silently breaks bit-identical
+# replay across `SEA_EXEC_THREADS` settings.
+#
+# Scans every crate's src/ for forbidden APIs and fails if a hit is not
+# covered by ci/determinism_allowlist.txt. Run from the repo root:
+#
+#   ci/determinism_lint.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=ci/determinism_allowlist.txt
+
+# Forbidden on the answer path: wall clocks and ambient RNG. `Date::now`
+# covers any future JS/WASM bindings; seeded StdRng construction is fine
+# but only inside allowlisted generator files.
+PATTERN='std::time::Instant|Instant::now|SystemTime|rand::|Date::now'
+
+allowed() {
+    # Exact repo-relative path match, ignoring comments and blanks.
+    grep -vE '^\s*(#|$)' "$ALLOWLIST" | grep -qxF "$1"
+}
+
+status=0
+while IFS= read -r file; do
+    if ! allowed "$file"; then
+        echo "determinism-lint: forbidden wall-clock/RNG API in $file:" >&2
+        grep -nE "$PATTERN" "$file" | head -5 >&2
+        status=1
+    fi
+done < <(grep -rlE "$PATTERN" crates/*/src --include='*.rs' | sort)
+
+# A stale allowlist hides future violations behind dead entries.
+while IFS= read -r entry; do
+    if [ ! -f "$entry" ]; then
+        echo "determinism-lint: allowlist entry no longer exists: $entry" >&2
+        status=1
+    elif ! grep -qE "$PATTERN" "$entry"; then
+        echo "determinism-lint: allowlist entry has no forbidden API (remove it): $entry" >&2
+        status=1
+    fi
+done < <(grep -vE '^\s*(#|$)' "$ALLOWLIST")
+
+if [ "$status" -eq 0 ]; then
+    echo "determinism-lint: answer path is wall-clock and RNG free"
+fi
+exit "$status"

@@ -35,7 +35,7 @@ pub const BASELINE_SCHEMA_VERSION: u64 = 1;
 /// cache arms deliberately skip scans, and admission deliberately
 /// rejects load, so none of them measures the steady-state query path
 /// and none of them gate).
-pub const BASELINE_EXPERIMENTS: [&str; 7] = ["e1", "e4", "e7", "e8", "e18", "e19", "e20"];
+pub const BASELINE_EXPERIMENTS: [&str; 8] = ["e1", "e4", "e7", "e8", "e18", "e19", "e20", "e21"];
 
 /// Default relative tolerance for [`compare`]: a gated metric may move
 /// up to this fraction in its bad direction before it counts as a
@@ -257,6 +257,25 @@ pub fn collect() -> sea_common::Result<BenchBaseline> {
                 ("service_answered", "service.answered"),
                 ("service_rejected_budget", "service.rejected_budget"),
                 ("service_rejected_rate", "service.rejected_rate"),
+            ] {
+                metrics.push(HeadlineMetric {
+                    name: name.to_string(),
+                    value: snap.counter(counter) as f64,
+                    higher_is_better: false,
+                    gate: false,
+                });
+            }
+        }
+        if id == "e21" {
+            // E21 injects the E18 fault plans behind the watch layer,
+            // so every number measures detection/alerting machinery
+            // under deliberate faults — trends only, like E18.
+            for m in &mut metrics {
+                m.gate = false;
+            }
+            for (name, counter) in [
+                ("watch_alerts", "watch.alerts"),
+                ("watch_suspects", "watch.suspects"),
             ] {
                 metrics.push(HeadlineMetric {
                     name: name.to_string(),

@@ -120,6 +120,7 @@ fn run_multi(sink: &TelemetrySink, noisy_budget: f64) -> Result<(Vec<TenantRow>,
             money_budget: Some(noisy_budget),
             rate_per_sec: Some(2.0),
             burst: 4.0,
+            ..TenantConfig::default()
         },
     )?;
     let streams: Vec<Vec<AnalyticalQuery>> = TENANTS

@@ -22,6 +22,7 @@ mod e17_calibration;
 mod e18_faults;
 mod e19_semantic_cache;
 mod e20_multitenant;
+mod e21_watch;
 
 pub use a01_ablations::{run_a1, run_a1_with};
 pub use e01_dataless::{run_e1, run_e1_with};
@@ -44,6 +45,9 @@ pub use e17_calibration::{run_e17, run_e17_with};
 pub use e18_faults::{run_e18, run_e18_with};
 pub use e19_semantic_cache::{run_e19, run_e19_with};
 pub use e20_multitenant::{e20_stats_with, run_e20, run_e20_with};
+pub use e21_watch::{
+    e21_arms_with_pool, e21_watch_with, run_e21, run_e21_with, WatchArm, WatchReport,
+};
 
 use crate::Report;
 
@@ -87,6 +91,7 @@ pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_comm
         "e18" => run_e18_with(sink),
         "e19" => run_e19_with(sink),
         "e20" => run_e20_with(sink),
+        "e21" => run_e21_with(sink),
         "a1" => run_a1_with(sink),
         other => Err(sea_common::SeaError::NotFound(format!(
             "experiment {other}"
@@ -101,9 +106,9 @@ pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_comm
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "a1",
+    "e16", "e17", "e18", "e19", "e20", "e21", "a1",
 ];
 
 /// Per-query ledger stats for experiments that run through the
@@ -119,6 +124,23 @@ pub fn stats_json_by_id(
 ) -> Option<sea_common::Result<String>> {
     match id.to_ascii_lowercase().as_str() {
         "e20" => Some(e20_stats_with(sink).and_then(|s| s.to_json())),
+        _ => None,
+    }
+}
+
+/// The watch-layer report for experiments that run behind a
+/// [`WatchHub`] tap (currently E21): the JSON `--watch-out` sidecar.
+/// Returns `None` for experiments without a watch layer.
+///
+/// # Errors
+///
+/// Experiment-internal errors while re-running the workload.
+pub fn watch_json_by_id(
+    id: &str,
+    sink: &sea_telemetry::TelemetrySink,
+) -> Option<sea_common::Result<String>> {
+    match id.to_ascii_lowercase().as_str() {
+        "e21" => Some(e21_watch_with(sink)),
         _ => None,
     }
 }

@@ -1,0 +1,54 @@
+//! The watch layer must be deterministic in the strongest sense: the
+//! entire E21 sidecar — windowed metric summaries, SLO alert log,
+//! anomaly suspicions, failover timestamps — has to serialize to the
+//! exact same bytes no matter how many executor threads run the
+//! scatter phase. Telemetry is replayed on the coordinator thread in
+//! node-index order, so everything derived from it (including the
+//! watch hub's windows and the anomaly detector's suspicion stream)
+//! inherits that determinism.
+
+use sea_bench::experiments::e21_arms_with_pool;
+use sea_query::ExecPool;
+use sea_telemetry::TelemetrySink;
+
+#[test]
+fn e21_watch_sidecar_is_bit_identical_across_thread_counts() {
+    let baseline = e21_arms_with_pool(&TelemetrySink::noop(), Some(ExecPool::new(1)))
+        .unwrap()
+        .to_json()
+        .unwrap();
+    for threads in [2usize, 8] {
+        let report = e21_arms_with_pool(&TelemetrySink::noop(), Some(ExecPool::new(threads)))
+            .unwrap()
+            .to_json()
+            .unwrap();
+        assert_eq!(
+            baseline, report,
+            "watch sidecar diverged at {threads} executor threads"
+        );
+    }
+}
+
+#[test]
+fn slow_node_is_flagged_before_its_first_failover_at_every_rate() {
+    let report = e21_arms_with_pool(&TelemetrySink::noop(), Some(ExecPool::new(2))).unwrap();
+    for arm in &report.arms {
+        assert!(
+            arm.detect_us >= 0.0,
+            "rate {}: slow node never detected",
+            arm.fault_rate
+        );
+        assert!(
+            arm.failover_us >= 0.0,
+            "rate {}: no failover observed",
+            arm.fault_rate
+        );
+        assert!(
+            arm.detect_us < arm.failover_us,
+            "rate {}: detection ({}) not before first failover ({})",
+            arm.fault_rate,
+            arm.detect_us,
+            arm.failover_us
+        );
+    }
+}

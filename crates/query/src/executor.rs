@@ -642,7 +642,17 @@ impl<'a> Executor<'a> {
                 self.cluster
                     .record_scan(table, *node, kind, &scan.stats, &node_span.ctx());
             }
-            node_span.record_sim_us(scan.meter.sequential_us(&self.cost_model));
+            let node_sim_us = scan.meter.sequential_us(&self.cost_model);
+            if !scan.unavailable {
+                // Per-node cost feed for the watch layer's anomaly
+                // detector; replayed here in node-index order so the
+                // derived suspicion stream is deterministic too.
+                self.telemetry.event(
+                    "query.node_cost",
+                    &[("node", (*node).into()), ("sim_us", node_sim_us.into())],
+                );
+            }
+            node_span.record_sim_us(node_sim_us);
             if let Some(partial) = scan.partial {
                 partials.push(partial);
             }

@@ -18,7 +18,11 @@
 //!   seq/simulated-time range filtering, tenant × aggregate × source
 //!   breakdowns, and top-N most-expensive queries over a frozen ledger
 //!   snapshot, serializable to JSON ([`StatsReport::to_json`]) for the
-//!   experiments binary's `--stats-out` sidecar.
+//!   experiments binary's `--stats-out` sidecar;
+//! - **per-tenant SLOs** (via [`sea_watch`]): a [`TenantConfig`] may
+//!   carry an [`SloPolicy`]; every served request then feeds a
+//!   fast/slow burn-rate tracker, and alert transitions land in the
+//!   service's [`AlertLog`] and as `watch.alert` telemetry events.
 //!
 //! The serving path ([`QueryService::submit`]) and the read path are
 //! deliberately decoupled: the ledger is the only shared state, writers
@@ -32,5 +36,6 @@ mod service;
 mod stats;
 
 pub use ledger::{Disposition, LedgerRow, QueryLedger};
+pub use sea_watch::{AlertLog, AlertRecord, SloPolicy, SloStatus};
 pub use service::{QueryService, SubmitOutcome, TenantConfig, TenantUsage};
 pub use stats::{BreakdownRow, StatsFilter, StatsReport, StatsService, StatsSummary};

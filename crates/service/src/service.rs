@@ -15,6 +15,7 @@ use std::sync::Arc;
 use sea_common::{AnalyticalQuery, AnswerValue, Result, SeaError};
 use sea_core::AgentPipeline;
 use sea_query::Executor;
+use sea_watch::{AlertLog, AlertRecord, SloPolicy, SloTracker, FAST_WINDOWS, SLOW_WINDOWS};
 
 use crate::ledger::{Disposition, LedgerRow, QueryLedger};
 
@@ -32,6 +33,12 @@ pub struct TenantConfig {
     pub rate_per_sec: Option<f64>,
     /// Token-bucket capacity (burst size); also the initial fill.
     pub burst: f64,
+    /// Service-level objective. When set, every *served* request
+    /// (answered or failed — admission rejections are policy, not
+    /// service quality) feeds a burn-rate tracker, and alert
+    /// transitions are recorded as `watch.alert` events plus rows in
+    /// the service's [`AlertLog`].
+    pub slo: Option<SloPolicy>,
 }
 
 impl Default for TenantConfig {
@@ -40,6 +47,7 @@ impl Default for TenantConfig {
             money_budget: None,
             rate_per_sec: None,
             burst: 1.0,
+            slo: None,
         }
     }
 }
@@ -69,6 +77,7 @@ struct TenantEntry {
     tokens: f64,
     last_refill_us: f64,
     pipeline: Option<AgentPipeline>,
+    slo: Option<SloTracker>,
 }
 
 impl TenantEntry {
@@ -79,6 +88,7 @@ impl TenantEntry {
             tokens: config.burst,
             last_refill_us: 0.0,
             pipeline,
+            slo: config.slo.map(SloTracker::new),
         }
     }
 
@@ -116,6 +126,7 @@ pub struct QueryService<'a> {
     table: String,
     tenants: BTreeMap<String, TenantEntry>,
     ledger: Arc<QueryLedger>,
+    alert_log: Arc<AlertLog>,
     sim_now_us: f64,
     seq: u64,
 }
@@ -128,6 +139,7 @@ impl<'a> QueryService<'a> {
             table: table.into(),
             tenants: BTreeMap::new(),
             ledger: Arc::new(QueryLedger::default()),
+            alert_log: Arc::new(AlertLog::default()),
             sim_now_us: 0.0,
             seq: 0,
         }
@@ -178,6 +190,20 @@ impl<'a> QueryService<'a> {
     /// a [`StatsService`](crate::StatsService) for read-only analytics.
     pub fn ledger(&self) -> Arc<QueryLedger> {
         Arc::clone(&self.ledger)
+    }
+
+    /// The append-only SLO alert log: every burn-rate raise/clear
+    /// transition across all tenants, in occurrence order.
+    pub fn alert_log(&self) -> Arc<AlertLog> {
+        Arc::clone(&self.alert_log)
+    }
+
+    /// A tenant's current SLO accounting, if registered with a policy.
+    pub fn tenant_slo_status(&self, name: &str) -> Option<sea_watch::SloStatus> {
+        self.tenants
+            .get(name)
+            .and_then(|t| t.slo.as_ref())
+            .map(|t| t.status())
     }
 
     /// Current simulated service time, microseconds.
@@ -312,9 +338,24 @@ impl<'a> QueryService<'a> {
                 };
                 entry.usage.answered += 1;
                 self.executor.telemetry().incr("service.answered", 1);
+                // The serving tier's own latency distribution (simulated
+                // µs); the watch layer windows this via its tap.
+                self.executor
+                    .telemetry()
+                    .observe("service.query_wall_us", cost.wall_us);
                 entry.usage.money += cost.money;
                 entry.usage.wall_us += cost.wall_us;
                 self.sim_now_us += cost.wall_us;
+                feed_slo(
+                    entry.slo.as_mut(),
+                    &self.alert_log,
+                    self.executor.telemetry(),
+                    tenant,
+                    self.sim_now_us,
+                    true,
+                    cost.wall_us,
+                    cost.answered_fraction,
+                );
                 let row = LedgerRow {
                     seq,
                     tenant: tenant.to_string(),
@@ -340,6 +381,16 @@ impl<'a> QueryService<'a> {
             Err(_) => {
                 entry.usage.failed += 1;
                 self.executor.telemetry().incr("service.failed", 1);
+                feed_slo(
+                    entry.slo.as_mut(),
+                    &self.alert_log,
+                    self.executor.telemetry(),
+                    tenant,
+                    self.sim_now_us,
+                    false,
+                    0.0,
+                    0.0,
+                );
                 let mut row = LedgerRow::unanswered(seq, tenant, agg, Disposition::Failed, now);
                 row.retries = retries;
                 row.failovers = failovers;
@@ -352,5 +403,45 @@ impl<'a> QueryService<'a> {
                 })
             }
         }
+    }
+}
+
+/// Feeds one served request into a tenant's SLO tracker (no-op for
+/// tenants without a policy) and, on a burn-rate transition, appends an
+/// [`AlertRecord`] and emits a `watch.alert` event. Everything is keyed
+/// on the simulated clock, so the alert stream replays bit-identically.
+#[allow(clippy::too_many_arguments)]
+fn feed_slo(
+    tracker: Option<&mut SloTracker>,
+    alert_log: &AlertLog,
+    sink: &sea_telemetry::TelemetrySink,
+    tenant: &str,
+    now_us: f64,
+    answered: bool,
+    wall_us: f64,
+    answered_fraction: f64,
+) {
+    let Some(tracker) = tracker else { return };
+    if let Some(tr) = tracker.record(now_us, answered, wall_us, answered_fraction) {
+        alert_log.append(AlertRecord {
+            seq: 0, // assigned by the log
+            sim_time_us: now_us,
+            tenant: tenant.to_string(),
+            raised: tr.raised,
+            fast_burn: tr.fast_burn,
+            slow_burn: tr.slow_burn,
+            fast_windows: FAST_WINDOWS,
+            slow_windows: SLOW_WINDOWS,
+        });
+        sink.incr("watch.alerts", 1);
+        sink.event(
+            "watch.alert",
+            &[
+                ("tenant", tenant.into()),
+                ("raised", tr.raised.into()),
+                ("fast_burn", tr.fast_burn.into()),
+                ("slow_burn", tr.slow_burn.into()),
+            ],
+        );
     }
 }

@@ -81,6 +81,7 @@ fn run(threads: usize) -> (Vec<LedgerRow>, StatsReport) {
             money_budget: Some(2000.0),
             rate_per_sec: Some(2.0),
             burst: 3.0,
+            ..TenantConfig::default()
         },
     )
     .unwrap();

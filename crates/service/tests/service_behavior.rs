@@ -8,7 +8,7 @@ use sea_cache::{CacheConfig, SemanticCache};
 use sea_common::{AggregateKind, AnalyticalQuery, Record, Rect, Region};
 use sea_core::{AgentConfig, AgentPipeline, ExecMode};
 use sea_query::{Executor, RetryPolicy};
-use sea_service::{Disposition, QueryService, StatsFilter, StatsService, TenantConfig};
+use sea_service::{Disposition, QueryService, SloPolicy, StatsFilter, StatsService, TenantConfig};
 use sea_storage::{FaultPlan, Partitioning, StorageCluster};
 use sea_telemetry::TelemetrySink;
 
@@ -297,4 +297,85 @@ fn stats_filters_breakdown_and_top_n_are_consistent() {
     assert!(json.contains("\"summary\""));
     assert!(json.contains("\"breakdown\""));
     assert!(json.contains("\"top_expensive\""));
+}
+
+#[test]
+fn top_expensive_breaks_cost_ties_by_submission_order() {
+    let cluster = build_cluster();
+    let mut svc = QueryService::new(Executor::new(&cluster), "t");
+    for t in ["a", "b"] {
+        svc.register_tenant(t, TenantConfig::default()).unwrap();
+    }
+    // The identical query from alternating tenants: every answered row
+    // carries exactly the same simulated money.
+    let q = count_query(0.0, 40.0);
+    for i in 0..6 {
+        svc.submit(["a", "b"][i % 2], &q).unwrap();
+    }
+    let stats = StatsService::new(&svc.ledger(), TelemetrySink::noop());
+    let top = stats.top_expensive(6, &StatsFilter::default());
+    assert_eq!(top.len(), 6);
+    let money: Vec<f64> = top.iter().map(|r| r.money).collect();
+    assert!(
+        money.windows(2).all(|w| w[0] == w[1]),
+        "fixture requires equal costs, got {money:?}"
+    );
+    // Equal-cost rows come back in submission (seq) order — a total
+    // order, so the sidecar JSON is bit-stable run to run.
+    let seqs: Vec<u64> = top.iter().map(|r| r.seq).collect();
+    assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+    // And a smaller N takes the earliest-submitted of the tied rows.
+    let top2 = stats.top_expensive(2, &StatsFilter::default());
+    assert_eq!(top2.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1]);
+}
+
+#[test]
+fn slo_burn_rate_alert_raises_and_lands_in_log_and_telemetry() {
+    let cluster = build_cluster();
+    let sink = TelemetrySink::recording();
+    let mut exec_cluster = cluster;
+    exec_cluster.set_telemetry(sink.clone());
+    let mut svc = QueryService::new(Executor::new(&exec_cluster), "t");
+    // `strict` can never meet its latency objective; `lax` always does.
+    svc.register_tenant(
+        "strict",
+        TenantConfig {
+            slo: Some(SloPolicy::new(0.001, 1.0)),
+            ..TenantConfig::default()
+        },
+    )
+    .unwrap();
+    svc.register_tenant(
+        "lax",
+        TenantConfig {
+            slo: Some(SloPolicy::new(f64::INFINITY, 0.0)),
+            ..TenantConfig::default()
+        },
+    )
+    .unwrap();
+    let q = count_query(0.0, 40.0);
+    for _ in 0..5 {
+        svc.submit("strict", &q).unwrap();
+        svc.submit("lax", &q).unwrap();
+    }
+    // All-bad traffic burns at 1/error_budget = 100× — far over both
+    // thresholds — so the alert raises on the first served request and
+    // stays latched: exactly one transition.
+    let alerts = svc.alert_log().snapshot();
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].tenant, "strict");
+    assert!(alerts[0].raised);
+    assert!(alerts[0].fast_burn >= 14.4 && alerts[0].slow_burn >= 6.0);
+    assert_eq!(alerts[0].seq, 0);
+    let strict = svc.tenant_slo_status("strict").unwrap();
+    assert!(strict.alerting);
+    assert_eq!(strict.bad, 5);
+    let lax = svc.tenant_slo_status("lax").unwrap();
+    assert!(!lax.alerting);
+    assert_eq!((lax.good, lax.bad), (5, 0));
+    assert!(svc.tenant_slo_status("ghost").is_none());
+    // The transition is also visible as telemetry.
+    let snap = sink.snapshot().unwrap();
+    assert_eq!(snap.counter("watch.alerts"), 1);
+    assert_eq!(snap.event_count("watch.alert"), 1);
 }

@@ -59,11 +59,9 @@ pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
             };
             out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
         }
-        // Sum is reconstructed from the stored mean; exact for the
-        // counts involved here.
         out.push_str(&format!(
             "{name}_sum {}\n{name}_count {}\n",
-            fmt_f64(h.mean * h.count as f64),
+            fmt_f64(h.sum),
             h.count
         ));
     }
@@ -173,6 +171,36 @@ fn emit_span(
     // Measured child wall time can slightly exceed the parent's own
     // measurement; report the larger extent so rows never overlap.
     dur.max(child_ts - ts)
+}
+
+/// Renders the snapshot's bounded event ring as JSON-Lines: one event
+/// per line in ring (seq) order, each a `serde_json` rendering of
+/// [`crate::EventSnapshot`] — field order is declaration order under
+/// the vendored shims, so the output is byte-stable. The final line
+/// is a `{"evicted": …, "totals_by_name": …}` trailer so consumers can
+/// tell a short log from a truncated one.
+///
+/// # Errors
+///
+/// Serialization errors from the JSON layer (none in practice: every
+/// field type is JSON-safe).
+pub fn events_jsonl(snap: &TelemetrySnapshot) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for event in &snap.events.events {
+        out.push_str(&serde_json::to_string(event)?);
+        out.push('\n');
+    }
+    #[derive(serde::Serialize)]
+    struct Trailer {
+        evicted: u64,
+        totals_by_name: Vec<(String, u64)>,
+    }
+    out.push_str(&serde_json::to_string(&Trailer {
+        evicted: snap.events.evicted,
+        totals_by_name: snap.events.totals_by_name.clone(),
+    })?);
+    out.push('\n');
+    Ok(out)
 }
 
 fn meta_event(pid: u64, tid: u64, name: &str, value: &str) -> String {
@@ -331,6 +359,26 @@ mod tests {
         // Root sim duration = 5 (own) + 40 (child); child = 40 at ts 0.
         assert!(json.contains("\"pid\":2,\"tid\":1,\"ts\":0,\"dur\":45"));
         assert!(json.contains("\"pid\":2,\"tid\":1,\"ts\":0,\"dur\":40"));
+    }
+
+    #[test]
+    fn events_jsonl_is_one_event_per_line_plus_trailer() {
+        let snap = sample_snapshot();
+        let jsonl = events_jsonl(&snap).unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), snap.events.events.len() + 1);
+        for line in &lines {
+            let depth = line.chars().fold(0i64, |d, c| match c {
+                '{' | '[' => d + 1,
+                '}' | ']' => d - 1,
+                _ => d,
+            });
+            assert_eq!(depth, 0, "unbalanced JSONL line: {line}");
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(lines.last().unwrap().contains("\"evicted\""));
+        // Byte-stable: same snapshot, same bytes.
+        assert_eq!(jsonl, events_jsonl(&snap).unwrap());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod trace;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 pub use event::{EventLogSnapshot, EventSnapshot, FieldValue, MAX_EVENTS};
@@ -59,6 +60,28 @@ pub use trace::{trace_id_for_query, TraceContext};
 /// room (overflow would otherwise be silent).
 pub const EVENTS_DROPPED_COUNTER: &str = "telemetry.events_dropped";
 
+/// A live consumer of the recorded stream: histogram observations and
+/// structured events are forwarded to the tap *after* they are
+/// recorded, on the recording thread, in recording order. This is the
+/// seam the `sea-watch` windowed-metrics layer hangs off.
+///
+/// The tap receives the originating sink so it can emit derived
+/// telemetry (e.g. `node.suspect` events) back into the same recorder.
+/// Implementations MUST ignore their own derived names on re-entry
+/// (the sink calls the tap again for every event, including ones the
+/// tap itself emitted) and must not hold internal locks while calling
+/// back into `sink` — the recorder itself holds no locks across the
+/// tap call.
+///
+/// A `Noop` sink never consults the tap, so disabled telemetry stays
+/// zero-cost.
+pub trait TelemetryTap: Send + Sync + std::fmt::Debug {
+    /// A histogram observation was recorded.
+    fn on_observe(&self, sink: &TelemetrySink, name: &str, value: f64);
+    /// A structured event was recorded.
+    fn on_event(&self, sink: &TelemetrySink, name: &str, fields: &[(&str, FieldValue)]);
+}
+
 /// The shared recording backend behind a [`TelemetrySink::Recording`]
 /// sink. Cheap to clone via `Arc`; all interior state is thread-safe.
 #[derive(Debug, Default)]
@@ -68,6 +91,8 @@ pub struct Recorder {
     events: event::EventLog,
     /// Current query id + 1 (0 = outside any query).
     current_query: AtomicU64,
+    /// Optional live consumer of observations and events.
+    tap: RwLock<Option<Arc<dyn TelemetryTap>>>,
 }
 
 impl Recorder {
@@ -142,10 +167,15 @@ impl TelemetrySink {
         }
     }
 
-    /// Records one observation into a fixed-bucket histogram.
+    /// Records one observation into a fixed-bucket histogram, then
+    /// forwards it to the attached [`TelemetryTap`], if any.
     pub fn observe(&self, name: &str, value: f64) {
         if let Some(r) = self.recorder() {
             r.metrics.observe(name, value);
+            let tap = r.tap.read().clone();
+            if let Some(tap) = tap {
+                tap.on_observe(self, name, value);
+            }
         }
     }
 
@@ -182,6 +212,26 @@ impl TelemetrySink {
                     .counter(EVENTS_DROPPED_COUNTER)
                     .fetch_add(1, Ordering::Relaxed);
             }
+            let tap = r.tap.read().clone();
+            if let Some(tap) = tap {
+                tap.on_event(self, name, fields);
+            }
+        }
+    }
+
+    /// Attaches a live [`TelemetryTap`] consuming every subsequent
+    /// observation and event (replacing any previous tap). A no-op on a
+    /// `Noop` sink — disabled telemetry stays zero-cost.
+    pub fn set_tap(&self, tap: Arc<dyn TelemetryTap>) {
+        if let Some(r) = self.recorder() {
+            *r.tap.write() = Some(tap);
+        }
+    }
+
+    /// Detaches the tap, if any.
+    pub fn clear_tap(&self) {
+        if let Some(r) = self.recorder() {
+            *r.tap.write() = None;
         }
     }
 
@@ -350,6 +400,46 @@ mod tests {
         sink.incr("query.retries", 3);
         assert_eq!(sink.counter_value("query.retries"), 3);
         assert_eq!(TelemetrySink::noop().counter_value("query.retries"), 0);
+    }
+
+    #[test]
+    fn tap_sees_observations_and_events_and_may_emit_derived_events() {
+        /// Counts what it sees and re-emits a derived event for every
+        /// non-derived event (exercising the re-entry guard).
+        #[derive(Debug, Default)]
+        struct Probe {
+            observes: std::sync::atomic::AtomicU64,
+            events: std::sync::atomic::AtomicU64,
+        }
+        impl TelemetryTap for Probe {
+            fn on_observe(&self, _sink: &TelemetrySink, _name: &str, value: f64) {
+                self.observes
+                    .fetch_add(value as u64, std::sync::atomic::Ordering::Relaxed);
+            }
+            fn on_event(&self, sink: &TelemetrySink, name: &str, _f: &[(&str, FieldValue)]) {
+                if name.starts_with("derived.") {
+                    return;
+                }
+                self.events
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                sink.event("derived.echo", &[]);
+            }
+        }
+        let sink = TelemetrySink::recording();
+        let probe = Arc::new(Probe::default());
+        sink.set_tap(Arc::clone(&probe) as Arc<dyn TelemetryTap>);
+        sink.observe("h", 3.0);
+        sink.observe("h", 4.0);
+        sink.event("storage.node.scanned", &[]);
+        assert_eq!(probe.observes.load(Ordering::Relaxed), 7);
+        assert_eq!(probe.events.load(Ordering::Relaxed), 1);
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.event_count("derived.echo"), 1, "derived event lands");
+        sink.clear_tap();
+        sink.observe("h", 10.0);
+        assert_eq!(probe.observes.load(Ordering::Relaxed), 7, "tap detached");
+        // Noop sinks never consult a tap.
+        TelemetrySink::noop().set_tap(probe);
     }
 
     #[test]

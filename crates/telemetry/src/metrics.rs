@@ -172,6 +172,7 @@ fn summarize(name: &str, h: &HistogramCell) -> HistogramSnapshot {
     HistogramSnapshot {
         name: name.to_string(),
         count: h.count,
+        sum: h.sum,
         min: if h.count == 0 { 0.0 } else { h.min },
         max: if h.count == 0 { 0.0 } else { h.max },
         mean: if h.count == 0 {
@@ -182,6 +183,7 @@ fn summarize(name: &str, h: &HistogramCell) -> HistogramSnapshot {
         p50: percentile(h, 0.50),
         p95: percentile(h, 0.95),
         p99: percentile(h, 0.99),
+        p999: percentile(h, 0.999),
         buckets,
     }
 }
@@ -242,17 +244,25 @@ pub struct BucketSnapshot {
     pub count: u64,
 }
 
-/// Serializable histogram summary with interpolated percentiles.
+/// Serializable histogram summary with interpolated percentiles. The
+/// `mean` is count-weighted (`sum / count`), and `sum` is the exact
+/// accumulated total, so exporters can emit it without reconstructing
+/// it from the mean.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     pub name: String,
     pub count: u64,
+    /// Exact sum of all observations (0 when empty).
+    pub sum: f64,
     pub min: f64,
     pub max: f64,
+    /// Count-weighted mean: `sum / count` (0 when empty).
     pub mean: f64,
     pub p50: f64,
     pub p95: f64,
     pub p99: f64,
+    /// 99.9th percentile — the tail the windowed watch layer alerts on.
+    pub p999: f64,
     pub buckets: Vec<BucketSnapshot>,
 }
 
@@ -273,6 +283,9 @@ mod tests {
         assert!(snap.p50 > 300.0 && snap.p50 < 700.0, "p50 {}", snap.p50);
         assert!(snap.p95 > 800.0, "p95 {}", snap.p95);
         assert!(snap.p99 >= snap.p95 && snap.p99 <= snap.max);
+        assert!(snap.p999 >= snap.p99 && snap.p999 <= snap.max);
+        assert_eq!(snap.sum, (1..=1000).map(f64::from).sum::<f64>());
+        assert!((snap.mean - snap.sum / 1000.0).abs() < 1e-12);
     }
 
     #[test]
@@ -282,7 +295,9 @@ mod tests {
         let snap = &reg.histogram_snapshots()[0];
         assert_eq!(snap.p50, 42.0);
         assert_eq!(snap.p99, 42.0);
+        assert_eq!(snap.p999, 42.0);
         assert_eq!(snap.mean, 42.0);
+        assert_eq!(snap.sum, 42.0);
     }
 
     #[test]

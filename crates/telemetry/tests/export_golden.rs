@@ -97,12 +97,14 @@ fn synthetic_snapshot() -> TelemetrySnapshot {
         histograms: vec![HistogramSnapshot {
             name: "bench.query_sim_us".to_string(),
             count: 3,
+            sum: 1650.0,
             min: 45.0,
             max: 1300.0,
             mean: 550.0,
             p50: 305.0,
             p95: 1300.0,
             p99: 1300.0,
+            p999: 1300.0,
             buckets: vec![
                 BucketSnapshot {
                     le: 100.0,

@@ -1,0 +1,389 @@
+//! Per-tenant SLOs with multi-window error-budget burn-rate alerting.
+//!
+//! An [`SloPolicy`] declares what a *good* request is — answered within
+//! a simulated-latency objective, with at least the availability
+//! objective's `answered_fraction` — and how much of the traffic may be
+//! bad (the error budget). The [`SloTracker`] folds each ledgered
+//! request into per-window good/bad counts over the simulated clock and
+//! evaluates the classic fast/slow burn-rate pair: an alert raises when
+//! the budget is burning faster than threshold over BOTH the last
+//! [`FAST_WINDOWS`] windows (is it happening *now*?) and the last
+//! [`SLOW_WINDOWS`] windows (is it *sustained*?), and clears when either
+//! recovers. Transitions are returned to the caller (the `sea-service`
+//! front door records them as `watch.alert` events) and appended to the
+//! shared [`AlertLog`].
+//!
+//! Everything is keyed on simulated time, so the alert stream is
+//! bit-identical at any host thread count.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Number of trailing windows the fast (page-worthy, "burning right
+/// now") burn rate is evaluated over.
+pub const FAST_WINDOWS: u64 = 5;
+/// Number of trailing windows the slow (sustained) burn rate is
+/// evaluated over; also the tracker's retention bound.
+pub const SLOW_WINDOWS: u64 = 60;
+
+/// What a tenant is promised, and when to alert on breaking it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloPolicy {
+    /// A request answered slower than this (simulated µs) is bad.
+    pub latency_objective_us: f64,
+    /// A request answering less than this `answered_fraction` is bad.
+    pub availability_objective: f64,
+    /// Fraction of requests allowed to be bad (e.g. 0.01 = 99% SLO).
+    pub error_budget: f64,
+    /// Width of one SLO window, simulated µs.
+    pub window_us: f64,
+    /// Burn-rate threshold over the last [`FAST_WINDOWS`] windows.
+    pub fast_burn_threshold: f64,
+    /// Burn-rate threshold over the last [`SLOW_WINDOWS`] windows.
+    pub slow_burn_threshold: f64,
+}
+
+impl SloPolicy {
+    /// A policy with the given objectives and conventional defaults:
+    /// 1% error budget, 1-second windows, and the 14.4×/6× burn
+    /// thresholds of the standard multi-window alerting recipe.
+    pub fn new(latency_objective_us: f64, availability_objective: f64) -> Self {
+        SloPolicy {
+            latency_objective_us,
+            availability_objective,
+            error_budget: 0.01,
+            window_us: 1_000_000.0,
+            fast_burn_threshold: 14.4,
+            slow_burn_threshold: 6.0,
+        }
+    }
+
+    /// Is a request with this outcome good under the policy?
+    /// `answered = false` (execution failure) is always bad; admission
+    /// rejections are policy decisions and should not be fed in at all.
+    pub fn is_good(&self, answered: bool, wall_us: f64, answered_fraction: f64) -> bool {
+        answered
+            && wall_us <= self.latency_objective_us
+            && answered_fraction >= self.availability_objective
+    }
+}
+
+/// One good/bad tally for one SLO window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WindowTally {
+    index: u64,
+    good: u64,
+    bad: u64,
+}
+
+/// A burn-rate alert transition (raised or cleared).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlertTransition {
+    /// `true` = the alert just raised, `false` = it just cleared.
+    pub raised: bool,
+    /// Burn rate over the last [`FAST_WINDOWS`] windows at transition.
+    pub fast_burn: f64,
+    /// Burn rate over the last [`SLOW_WINDOWS`] windows at transition.
+    pub slow_burn: f64,
+}
+
+/// Point-in-time SLO accounting for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloStatus {
+    /// Lifetime good requests.
+    pub good: u64,
+    /// Lifetime bad requests.
+    pub bad: u64,
+    /// Lifetime fraction of the error budget consumed:
+    /// `bad / (total · error_budget)`; 1.0 = budget exactly spent.
+    pub budget_burn: f64,
+    /// Current burn rate over the last [`FAST_WINDOWS`] windows.
+    pub fast_burn: f64,
+    /// Current burn rate over the last [`SLOW_WINDOWS`] windows.
+    pub slow_burn: f64,
+    /// Whether the burn-rate alert is currently raised.
+    pub alerting: bool,
+}
+
+/// Folds one tenant's request outcomes into windowed good/bad counts
+/// and evaluates the fast/slow burn-rate pair on every record.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    policy: SloPolicy,
+    /// Trailing window tallies, oldest first, bounded to
+    /// [`SLOW_WINDOWS`] entries (empty windows take no slot).
+    windows: VecDeque<WindowTally>,
+    total_good: u64,
+    total_bad: u64,
+    alerting: bool,
+    last_fast: f64,
+    last_slow: f64,
+}
+
+impl SloTracker {
+    /// A fresh tracker for `policy`.
+    pub fn new(policy: SloPolicy) -> Self {
+        SloTracker {
+            policy,
+            windows: VecDeque::new(),
+            total_good: 0,
+            total_bad: 0,
+            alerting: false,
+            last_fast: 0.0,
+            last_slow: 0.0,
+        }
+    }
+
+    /// The tracked policy.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Burn rate over the trailing `span` windows ending at
+    /// `current_index`: observed bad fraction divided by the error
+    /// budget (0 with no traffic in range).
+    fn burn_over(&self, span: u64, current_index: u64) -> f64 {
+        let cutoff = current_index.saturating_sub(span - 1);
+        let (mut good, mut bad) = (0u64, 0u64);
+        for w in &self.windows {
+            if w.index >= cutoff {
+                good += w.good;
+                bad += w.bad;
+            }
+        }
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let bad_fraction = bad as f64 / total as f64;
+        bad_fraction / self.policy.error_budget.max(f64::MIN_POSITIVE)
+    }
+
+    /// Records one request outcome at simulated time `now_us` and
+    /// re-evaluates the alert pair. Returns `Some` when the alert state
+    /// transitioned. Feed only served requests (answered or failed);
+    /// admission rejections are not SLO traffic.
+    pub fn record(
+        &mut self,
+        now_us: f64,
+        answered: bool,
+        wall_us: f64,
+        answered_fraction: f64,
+    ) -> Option<AlertTransition> {
+        let good = self.policy.is_good(answered, wall_us, answered_fraction);
+        if good {
+            self.total_good += 1;
+        } else {
+            self.total_bad += 1;
+        }
+        let index = (now_us / self.policy.window_us.max(f64::MIN_POSITIVE))
+            .floor()
+            .max(0.0) as u64;
+        match self.windows.back_mut() {
+            Some(last) if last.index == index => {
+                if good {
+                    last.good += 1;
+                } else {
+                    last.bad += 1;
+                }
+            }
+            _ => {
+                self.windows.push_back(WindowTally {
+                    index,
+                    good: u64::from(good),
+                    bad: u64::from(!good),
+                });
+                if self.windows.len() > SLOW_WINDOWS as usize {
+                    self.windows.pop_front();
+                }
+            }
+        }
+        self.last_fast = self.burn_over(FAST_WINDOWS, index);
+        self.last_slow = self.burn_over(SLOW_WINDOWS, index);
+        let firing = self.last_fast >= self.policy.fast_burn_threshold
+            && self.last_slow >= self.policy.slow_burn_threshold;
+        if firing != self.alerting {
+            self.alerting = firing;
+            return Some(AlertTransition {
+                raised: firing,
+                fast_burn: self.last_fast,
+                slow_burn: self.last_slow,
+            });
+        }
+        None
+    }
+
+    /// Current accounting.
+    pub fn status(&self) -> SloStatus {
+        let total = self.total_good + self.total_bad;
+        let budget_burn = if total == 0 {
+            0.0
+        } else {
+            (self.total_bad as f64 / total as f64) / self.policy.error_budget.max(f64::MIN_POSITIVE)
+        };
+        SloStatus {
+            good: self.total_good,
+            bad: self.total_bad,
+            budget_burn,
+            fast_burn: self.last_fast,
+            slow_burn: self.last_slow,
+            alerting: self.alerting,
+        }
+    }
+}
+
+/// One row of the append-only alert log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRecord {
+    /// Append order (0-based).
+    pub seq: u64,
+    /// Simulated time of the transition.
+    pub sim_time_us: f64,
+    /// Tenant whose SLO transitioned.
+    pub tenant: String,
+    /// `true` = raised, `false` = cleared.
+    pub raised: bool,
+    /// Fast burn rate at transition (last [`FAST_WINDOWS`] windows).
+    pub fast_burn: f64,
+    /// Slow burn rate at transition (last [`SLOW_WINDOWS`] windows).
+    pub slow_burn: f64,
+    /// Windows in the fast evaluation span.
+    pub fast_windows: u64,
+    /// Windows in the slow evaluation span.
+    pub slow_windows: u64,
+}
+
+/// Append-only, thread-safe log of alert transitions; the `--watch-out`
+/// sidecar serializes its snapshot.
+#[derive(Debug, Default)]
+pub struct AlertLog {
+    rows: Mutex<Vec<AlertRecord>>,
+}
+
+impl AlertLog {
+    /// Appends `record`, assigning its `seq`; returns the assigned seq.
+    pub fn append(&self, mut record: AlertRecord) -> u64 {
+        let mut rows = self.rows.lock();
+        let seq = rows.len() as u64;
+        record.seq = seq;
+        rows.push(record);
+        seq
+    }
+
+    /// Number of rows appended.
+    pub fn len(&self) -> usize {
+        self.rows.lock().len()
+    }
+
+    /// Whether no alert has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.lock().is_empty()
+    }
+
+    /// An owned copy of every row, in append order.
+    pub fn snapshot(&self) -> Vec<AlertRecord> {
+        self.rows.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SloPolicy {
+        SloPolicy {
+            latency_objective_us: 100.0,
+            availability_objective: 1.0,
+            error_budget: 0.1,
+            window_us: 1_000.0,
+            fast_burn_threshold: 2.0,
+            slow_burn_threshold: 2.0,
+        }
+    }
+
+    #[test]
+    fn goodness_combines_latency_availability_and_success() {
+        let p = policy();
+        assert!(p.is_good(true, 99.0, 1.0));
+        assert!(!p.is_good(true, 101.0, 1.0), "latency objective");
+        assert!(!p.is_good(true, 50.0, 0.9), "availability objective");
+        assert!(!p.is_good(false, 0.0, 1.0), "failures are bad");
+    }
+
+    #[test]
+    fn alert_raises_on_sustained_burn_and_clears_on_recovery() {
+        let mut t = SloTracker::new(policy());
+        // Window 0: all good — no alert.
+        for i in 0..10 {
+            assert!(t.record(i as f64 * 100.0, true, 50.0, 1.0).is_none());
+        }
+        // Window 10: a burst of slow answers. The fast span (windows
+        // 6..=10) sees only bads; the slow span still remembers the
+        // goods, so the alert raises once the overall bad fraction
+        // crosses the slow threshold too.
+        let mut raised = None;
+        for i in 0..10 {
+            if let Some(tr) = t.record(10_000.0 + i as f64 * 100.0, true, 500.0, 1.0) {
+                raised = Some(tr);
+            }
+        }
+        let up = raised.expect("alert raised");
+        assert!(up.raised);
+        assert!(up.fast_burn >= 2.0 && up.slow_burn >= 2.0);
+        assert!(t.status().alerting);
+        // Long healthy stretch: the fast span forgets the bad spell.
+        let mut cleared = None;
+        for i in 0..200 {
+            let now = 11_000.0 + i as f64 * 500.0;
+            if let Some(tr) = t.record(now, true, 50.0, 1.0) {
+                cleared = Some(tr);
+            }
+        }
+        let down = cleared.expect("alert cleared");
+        assert!(!down.raised);
+        assert!(!t.status().alerting);
+        let s = t.status();
+        assert_eq!(s.good + s.bad, 220);
+        assert!(s.budget_burn > 0.0);
+    }
+
+    #[test]
+    fn burn_ignores_windows_outside_the_span() {
+        let mut t = SloTracker::new(policy());
+        // Window 0: all bad.
+        for _ in 0..5 {
+            t.record(0.0, false, 0.0, 1.0);
+        }
+        // Windows 10..15: all good; by window 15 the fast span (11..=15)
+        // no longer sees window 0.
+        for w in 10..=15 {
+            t.record(w as f64 * 1_000.0, true, 50.0, 1.0);
+        }
+        let s = t.status();
+        assert_eq!(s.fast_burn, 0.0, "bad window fell out of fast span");
+        assert!(s.slow_burn > 0.0, "slow span still remembers");
+    }
+
+    #[test]
+    fn alert_log_assigns_sequential_seqs() {
+        let log = AlertLog::default();
+        assert!(log.is_empty());
+        let rec = AlertRecord {
+            seq: 999,
+            sim_time_us: 1.0,
+            tenant: "gold".into(),
+            raised: true,
+            fast_burn: 3.0,
+            slow_burn: 2.5,
+            fast_windows: FAST_WINDOWS,
+            slow_windows: SLOW_WINDOWS,
+        };
+        assert_eq!(log.append(rec.clone()), 0);
+        assert_eq!(log.append(rec), 1);
+        let rows = log.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].seq, rows[1].seq), (0, 1));
+    }
+}

@@ -95,6 +95,7 @@ fn main() -> sea_common::Result<()> {
             money_budget: Some(budget),
             rate_per_sec: Some(2.0),
             burst: 3.0,
+            ..TenantConfig::default()
         },
     )?;
 
