@@ -156,7 +156,7 @@ mod tests {
     }
 
     fn exact(c: &StorageCluster, q: &AnalyticalQuery) -> AnswerValue {
-        let all: Vec<Record> = c.all_records("t").unwrap().into_iter().cloned().collect();
+        let all: Vec<Record> = c.all_records("t").unwrap();
         q.answer_exact(&all).unwrap()
     }
 

@@ -60,7 +60,7 @@ impl SamplingAqp {
             meter.touch_node(BDAS_LAYERS);
             let records = cluster.scan_node(table, node, &mut meter)?;
             // Sampled records ship to the sample store.
-            all.extend(records.into_iter().cloned());
+            all.extend(records);
             node_meters.push(meter);
         }
         let grid_ref = &grid;
@@ -190,7 +190,7 @@ mod tests {
         let e = engine(&c);
         let q = count_query(vec![10.0, 10.0], vec![60.0, 60.0]);
         let truth = {
-            let all: Vec<Record> = c.all_records("t").unwrap().into_iter().cloned().collect();
+            let all: Vec<Record> = c.all_records("t").unwrap();
             q.answer_exact(&all).unwrap().as_scalar().unwrap()
         };
         let out = e.query(&q).unwrap();

@@ -129,7 +129,8 @@ pub fn stats_json_by_id(
 }
 
 /// The watch-layer report for experiments that run behind a
-/// [`WatchHub`] tap (currently E21): the JSON `--watch-out` sidecar.
+/// [`sea_watch::WatchHub`] tap (currently E21): the JSON `--watch-out`
+/// sidecar.
 /// Returns `None` for experiments without a watch layer.
 ///
 /// # Errors

@@ -19,6 +19,7 @@
 pub mod aggregate;
 pub mod cost;
 pub mod error;
+pub mod kernels;
 pub mod point;
 pub mod query;
 pub mod record;
@@ -27,6 +28,7 @@ pub mod region;
 pub use aggregate::{AggregateKind, AnswerValue, BivariateStats};
 pub use cost::{CostMeter, CostModel, CostReport};
 pub use error::SeaError;
+pub use kernels::SelectionMask;
 pub use point::Point;
 pub use query::AnalyticalQuery;
 pub use record::{Record, RecordId};

@@ -160,8 +160,7 @@ impl<'a> Polystore<'a> {
                 matched.extend(
                     records
                         .into_iter()
-                        .filter(|r| query.region.contains_record(r))
-                        .cloned(),
+                        .filter(|r| query.region.contains_record(r)),
                 );
                 node_meters.push(meter);
             }

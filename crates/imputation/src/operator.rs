@@ -74,7 +74,7 @@ pub fn fullscan_impute(
         SeaError::check_dims(dims, r.dims())?;
     }
     let mut node_meters = Vec::new();
-    let mut donors: Vec<&Record> = Vec::new();
+    let mut donors: Vec<Record> = Vec::new();
     for node in 0..cluster.num_nodes() {
         let mut meter = CostMeter::new();
         meter.touch_node(BDAS_LAYERS);
@@ -90,7 +90,7 @@ pub fn fullscan_impute(
     for probe in incomplete {
         let cands: Vec<(&Record, f64)> = donors
             .iter()
-            .filter_map(|r| observed_distance(probe, r).map(|d| (*r, d)))
+            .filter_map(|r| observed_distance(probe, r).map(|d| (r, d)))
             .collect();
         examined += cands.len() as u64;
         out.push(fill_from(probe, cands, k));
@@ -174,7 +174,7 @@ impl GridImputer {
         for probe in incomplete {
             let region = self.donor_region(probe)?;
             let nodes = cluster.nodes_for_region(table, &region)?;
-            let mut cands: Vec<(&Record, f64)> = Vec::new();
+            let mut donors: Vec<Record> = Vec::new();
             for node in nodes {
                 let meter = &mut per_node_acc[node];
                 meter.touch_node(DIRECT_LAYERS);
@@ -182,12 +182,12 @@ impl GridImputer {
                 // only the donor shipment is added here.
                 let records = cluster.scan_node_region(table, node, &region, meter)?;
                 meter.charge_lan(records.len() as u64 * 16);
-                for r in records {
-                    if let Some(d) = observed_distance(probe, r) {
-                        cands.push((r, d));
-                    }
-                }
+                donors.extend(records);
             }
+            let cands: Vec<(&Record, f64)> = donors
+                .iter()
+                .filter_map(|r| observed_distance(probe, r).map(|d| (r, d)))
+                .collect();
             examined += cands.len() as u64;
             out.push(fill_from(probe, cands, k));
         }

@@ -58,7 +58,6 @@ pub fn knn_aggregate(
         .all_records(table)?
         .into_iter()
         .filter(|r| ids.contains(&r.id))
-        .cloned()
         .collect();
     let answer = aggregate.compute(&selected)?;
     let fetch_cost = fetch.report_sequential(cost_model);

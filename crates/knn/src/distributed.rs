@@ -110,11 +110,7 @@ impl DistributedKnnIndex {
         for node in 0..cluster.num_nodes() {
             let mut meter = CostMeter::new();
             meter.touch_node(DIRECT_LAYERS);
-            let records: Vec<Record> = cluster
-                .scan_node(table, node, &mut meter)?
-                .into_iter()
-                .cloned()
-                .collect();
+            let records: Vec<Record> = cluster.scan_node(table, node, &mut meter)?;
             if records.is_empty() {
                 trees.push(None);
                 bounds.push(None);

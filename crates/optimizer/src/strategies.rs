@@ -65,8 +65,8 @@ impl<'a> ExecutionEngines<'a> {
         let mut grid = GridIndex::new(domain, cells_per_dim)?;
         let mut by_id = std::collections::HashMap::new();
         for r in cluster.all_records(table)? {
-            grid.insert(r)?;
-            by_id.insert(r.id, r.clone());
+            grid.insert(&r)?;
+            by_id.insert(r.id, r);
         }
         Ok(ExecutionEngines {
             cluster,

@@ -40,7 +40,6 @@ fn fetch_subspace(
         let hits: Vec<Record> = records
             .into_iter()
             .filter(|r| region.contains_record(r))
-            .cloned()
             .collect();
         meter.charge_lan(hits.iter().map(Record::storage_bytes).sum());
         selected.extend(hits);

@@ -10,10 +10,10 @@
 
 use sea_cache::{CacheDecision, NodeFragment, SemanticCache};
 use sea_common::{
-    AggregateKind, AnalyticalQuery, AnswerValue, BivariateStats, CostMeter, CostModel, CostReport,
-    Record, Rect, Region, Result, SeaError,
+    kernels, AggregateKind, AnalyticalQuery, AnswerValue, BivariateStats, CostMeter, CostModel,
+    CostReport, Record, Rect, Region, Result, SeaError, SelectionMask,
 };
-use sea_storage::{NodeId, ScanStats, StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
+use sea_storage::{Block, DataNode, NodeId, ScanStats, StorageCluster, BDAS_LAYERS, DIRECT_LAYERS};
 use sea_telemetry::{TelemetrySink, TraceContext};
 
 use crate::pool::ExecPool;
@@ -447,6 +447,24 @@ impl<'a> Executor<'a> {
         query: &AnalyticalQuery,
         parent: &TraceContext,
     ) -> Result<QueryOutcome> {
+        self.execute_direct_with(table, query, parent, |candidates, bbox| {
+            self.scatter_scans(table, query, candidates, DIRECT_LAYERS, Some(bbox))
+        })
+    }
+
+    /// The direct regime with a pluggable scan provider: the whole span
+    /// tree, cost assembly, and merge are identical to
+    /// [`Executor::execute_direct_traced`]; only where the per-node
+    /// [`NodeScan`]s come from differs. Batch execution routes a shared
+    /// superset scan through here so each query's outcome and telemetry
+    /// replay stay bit-identical to a standalone execution.
+    fn execute_direct_with(
+        &self,
+        table: &str,
+        query: &AnalyticalQuery,
+        parent: &TraceContext,
+        provider: impl FnOnce(&[NodeId], &Rect) -> Result<Vec<NodeScan>>,
+    ) -> Result<QueryOutcome> {
         let _exec_span = self
             .telemetry
             .span_child_of(parent, "query.executor.direct");
@@ -470,8 +488,7 @@ impl<'a> Executor<'a> {
                 coord.charge_lan(64);
             }
             scatter.record_sim_us(coord.sequential_us(&self.cost_model));
-            let scans =
-                self.scatter_scans(table, query, &candidates, DIRECT_LAYERS, Some(&bbox))?;
+            let scans = provider(&candidates, &bbox)?;
             let out = self.replay_scatter(table, &candidates, "region", &scatter.ctx(), scans);
             scatter.tag(
                 "sim_makespan_us",
@@ -523,6 +540,28 @@ impl<'a> Executor<'a> {
         // cache is attached and the region supports the containment
         // algebra (rectangles only).
         let collect = self.cache.is_some() && matches!(query.region, Region::Range(_));
+        if self.cluster.has_fault_plan() {
+            // Injected faults are consumed per scan *operation*, so the
+            // fault-gated row path must stay in charge of retries,
+            // failover, and backoff accounting.
+            return self.scatter_scans_guarded(table, query, nodes, layers, bbox, collect);
+        }
+        self.scatter_scans_columnar(table, query, nodes, layers, bbox, collect)
+    }
+
+    /// The fault-gated scan path: row-at-a-time scans through
+    /// [`StorageCluster::scan_node_stats`] /
+    /// [`StorageCluster::scan_node_region_stats`], whose fault gate
+    /// advances per-node operation counters deterministically.
+    fn scatter_scans_guarded(
+        &self,
+        table: &str,
+        query: &AnalyticalQuery,
+        nodes: &[NodeId],
+        layers: u64,
+        bbox: Option<&Rect>,
+        collect: bool,
+    ) -> Result<Vec<NodeScan>> {
         self.pool
             .run(nodes.len(), |i| {
                 let node = nodes[i];
@@ -538,11 +577,13 @@ impl<'a> Executor<'a> {
                     };
                     match scanned {
                         Ok((records, stats)) => {
-                            let matched: Vec<&Record> = records
+                            let matched: Vec<Record> = records
                                 .into_iter()
                                 .filter(|r| query.region.contains_record(r))
                                 .collect();
-                            let partial = make_partial(&query.aggregate, &matched);
+                            let refs: Vec<&Record> = matched.iter().collect();
+                            let partial = make_partial(&query.aggregate, &refs);
+                            drop(refs);
                             meter.charge_lan(partial.wire_bytes());
                             return Ok(NodeScan {
                                 partial: Some(partial),
@@ -551,8 +592,7 @@ impl<'a> Executor<'a> {
                                 retries,
                                 failover: self.cluster.primary_down(node),
                                 unavailable: false,
-                                records: collect
-                                    .then(|| matched.iter().map(|r| (*r).clone()).collect()),
+                                records: collect.then_some(matched),
                             });
                         }
                         Err(ref e) if e.is_transient() && retries < self.retry.max_retries => {
@@ -582,6 +622,137 @@ impl<'a> Executor<'a> {
             })
             .into_iter()
             .collect()
+    }
+
+    /// The columnar fast path (no fault plan installed): predicates are
+    /// evaluated as selection bitmaps over each block's dimension
+    /// columns, then the per-node partial is folded serially in record
+    /// order over the selected rows only — the exact float-op sequence
+    /// of the row path, reached through autovectorizable kernels.
+    ///
+    /// Work is split into **morsels** (contiguous runs of blocks of
+    /// roughly [`MORSEL_RECORDS`] records) so the pool steals within a
+    /// node, not only across nodes: a 2-node cluster saturates an 8-way
+    /// pool. Phase A evaluates morsel masks in parallel (pure compute,
+    /// no telemetry); phase B assembles each node's meter, stats, and
+    /// partial from its masks in block order, so every observable output
+    /// is bit-identical for every pool size and morsel decomposition.
+    fn scatter_scans_columnar(
+        &self,
+        table: &str,
+        query: &AnalyticalQuery,
+        nodes: &[NodeId],
+        layers: u64,
+        bbox: Option<&Rect>,
+        collect: bool,
+    ) -> Result<Vec<NodeScan>> {
+        if let Some(b) = bbox {
+            SeaError::check_dims(self.cluster.dims(table)?, b.dims())?;
+        }
+        // Resolve each node's serving copy up front, in node order, so
+        // the first error (in node order) propagates exactly as the
+        // worker-loop path would.
+        let mut views: Vec<Option<(&DataNode, bool)>> = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            match self.cluster.serving_node(table, node) {
+                Ok(v) => views.push(Some(v)),
+                Err(SeaError::Storage(_) | SeaError::Transient(_)) if self.partial_answers => {
+                    views.push(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Phase A: morsel-parallel mask evaluation.
+        let morsels = plan_morsels(&views);
+        let evals: Vec<Vec<BlockEval>> = self.pool.run(morsels.len(), |mi| {
+            let m = &morsels[mi];
+            let (dn, _) = views[m.node_idx].expect("morsels cover live views only");
+            dn.blocks()[m.block_lo..m.block_hi]
+                .iter()
+                .map(|b| eval_block(b, query, bbox))
+                .collect()
+        });
+        // Regroup morsel outputs per node (morsels were planned in node
+        // order, contiguously).
+        let mut per_node: Vec<Vec<BlockEval>> = vec![Vec::new(); nodes.len()];
+        for (m, evs) in morsels.iter().zip(evals) {
+            per_node[m.node_idx].extend(evs);
+        }
+        // Phase B: per-node assembly — meters, stats, and the serial
+        // record-order kernel fold. Deterministic per node, so it can
+        // run on the pool too.
+        let scans = self.pool.run(nodes.len(), |i| {
+            let Some((dn, failover)) = views[i] else {
+                let mut meter = CostMeter::new();
+                meter.touch_node(layers);
+                return NodeScan {
+                    partial: None,
+                    meter,
+                    stats: ScanStats::default(),
+                    retries: 0,
+                    failover: false,
+                    unavailable: true,
+                    records: None,
+                };
+            };
+            let mut meter = CostMeter::new();
+            meter.touch_node(layers);
+            let blocks = dn.blocks();
+            let evals = &per_node[i];
+            let mut stats = ScanStats {
+                blocks_total: blocks.len(),
+                ..ScanStats::default()
+            };
+            let mut acc = KernelAcc::new(&query.aggregate);
+            let mut records = collect.then(Vec::new);
+            if bbox.is_none() {
+                // Full scan: every block is read, one seek-equivalent
+                // charge per block; records_returned counts all rows.
+                for (b, ev) in blocks.iter().zip(evals) {
+                    meter.charge_disk_read(b.bytes());
+                    meter.charge_cpu(b.len() as u64);
+                    stats.blocks_read += 1;
+                    stats.bytes_read += b.bytes();
+                    stats.records_returned += b.len();
+                    acc.push(b.cols(), &ev.refined);
+                    if let Some(out) = &mut records {
+                        ev.refined.for_each_set(|r| out.push(b.record(r)));
+                    }
+                }
+            } else {
+                // Region scan: zone-map pruned blocks are free; read
+                // blocks pay CPU per block and one sequential disk read
+                // covering all of them.
+                for (b, ev) in blocks.iter().zip(evals) {
+                    if !ev.read {
+                        continue;
+                    }
+                    stats.blocks_read += 1;
+                    stats.bytes_read += b.bytes();
+                    stats.records_returned += ev.returned;
+                    meter.charge_cpu(b.len() as u64);
+                    acc.push(b.cols(), &ev.refined);
+                    if let Some(out) = &mut records {
+                        ev.refined.for_each_set(|r| out.push(b.record(r)));
+                    }
+                }
+                if stats.bytes_read > 0 {
+                    meter.charge_disk_read(stats.bytes_read);
+                }
+            }
+            let partial = acc.finish();
+            meter.charge_lan(partial.wire_bytes());
+            NodeScan {
+                partial: Some(partial),
+                meter,
+                stats,
+                retries: 0,
+                failover,
+                unavailable: false,
+                records,
+            }
+        });
+        Ok(scans)
     }
 
     /// Stamps a report with the scatter phase's availability outcome:
@@ -703,9 +874,79 @@ impl<'a> Executor<'a> {
             .clone()
             .with_pool(ExecPool::sequential())
             .without_cache();
+        // All-rectangular batches on a healthy cluster share one superset
+        // scan: the union of the batch's query boxes is gathered once per
+        // node, and every query evaluates its predicate against that
+        // (much smaller) shared subset. Answers, cost reports, and the
+        // telemetry replay are bit-identical to standalone execution —
+        // the provider reproduces the per-query scan's exact charges and
+        // float-op sequence — so this is purely a wall-clock win.
+        if let Some(shared) = self.plan_shared_scan(table, queries) {
+            return self.pool.run(queries.len(), |i| {
+                inner.execute_direct_with(table, &queries[i], &ctx, |candidates, bbox| {
+                    Ok(shared.node_scans(candidates, bbox, &queries[i].aggregate))
+                })
+            });
+        }
         self.pool.run(queries.len(), |i| {
             inner.execute_direct_traced(table, &queries[i], &ctx)
         })
+    }
+
+    /// Builds the batch-shared superset scan, or `None` when the batch
+    /// does not qualify (fewer than two queries, any non-rectangular or
+    /// dimension-mismatched region, a fault plan installed, or any
+    /// primary down — those fall back to independent per-query scans so
+    /// fault determinism is untouched).
+    fn plan_shared_scan(&self, table: &str, queries: &[AnalyticalQuery]) -> Option<SharedScan> {
+        if queries.len() < 2 || self.cluster.has_fault_plan() || self.cluster.any_primary_down() {
+            return None;
+        }
+        let dims = self.cluster.dims(table).ok()?;
+        if dims == 0 {
+            return None;
+        }
+        let mut union: Option<Rect> = None;
+        for q in queries {
+            let Region::Range(r) = &q.region else {
+                return None;
+            };
+            if r.dims() != dims {
+                return None;
+            }
+            union = Some(match union {
+                None => r.clone(),
+                Some(u) => u.union(r).ok()?,
+            });
+        }
+        let union = union?;
+        let n_nodes = self.cluster.num_nodes();
+        let mut views = Vec::with_capacity(n_nodes);
+        for node in 0..n_nodes {
+            let (dn, _) = self.cluster.serving_node(table, node).ok()?;
+            views.push(dn);
+        }
+        // One pass per node: catalog every block's zone-map facts and
+        // gather the union-box rows' columns in record order. Each node
+        // is independent, so the pass parallelises freely.
+        let nodes = self.pool.run(n_nodes, |n| {
+            let dn = views[n];
+            let mut catalog = Vec::with_capacity(dn.blocks().len());
+            let mut sub: Vec<Vec<f64>> = vec![Vec::new(); dims];
+            for b in dn.blocks() {
+                catalog.push((b.bounds().cloned(), b.len(), b.bytes()));
+                if b.bounds().is_some_and(|bb| bb.intersects(&union)) {
+                    let m = b.bbox_mask(&union);
+                    if !m.is_none_set() {
+                        for (d, out) in sub.iter_mut().enumerate() {
+                            kernels::gather(b.col(d), &m, out);
+                        }
+                    }
+                }
+            }
+            SharedNode { catalog, sub }
+        });
+        Some(SharedScan { nodes })
     }
 
     /// [`Executor::execute_batch`] in the BDAS regime.
@@ -726,6 +967,305 @@ impl<'a> Executor<'a> {
         self.pool.run(queries.len(), |i| {
             inner.execute_bdas_traced(table, &queries[i], &ctx)
         })
+    }
+}
+
+/// Target morsel size in records: the intra-node work unit the pool
+/// steals. A fixed constant independent of thread count, so the morsel
+/// decomposition — and everything downstream — never depends on the
+/// host's parallelism.
+const MORSEL_RECORDS: usize = 4096;
+
+/// A contiguous run of blocks within one node: the unit of phase-A mask
+/// evaluation.
+struct Morsel {
+    /// Index into the scatter's `views`/`nodes` arrays.
+    node_idx: usize,
+    block_lo: usize,
+    block_hi: usize,
+}
+
+/// Splits each live node's block list into morsels of roughly
+/// [`MORSEL_RECORDS`] records (at least one block each), in node order.
+fn plan_morsels(views: &[Option<(&DataNode, bool)>]) -> Vec<Morsel> {
+    let mut out = Vec::new();
+    for (node_idx, v) in views.iter().enumerate() {
+        let Some((dn, _)) = v else { continue };
+        let blocks = dn.blocks();
+        let mut lo = 0;
+        while lo < blocks.len() {
+            let mut hi = lo;
+            let mut rows = 0;
+            while hi < blocks.len() && rows < MORSEL_RECORDS {
+                rows += blocks[hi].len();
+                hi += 1;
+            }
+            out.push(Morsel {
+                node_idx,
+                block_lo: lo,
+                block_hi: hi,
+            });
+            lo = hi;
+        }
+    }
+    out
+}
+
+/// One node's share of a batch superset scan: the zone-map catalog of
+/// every block (bounds, rows, bytes — enough to replay each query's
+/// per-block charges without touching the data again) and the gathered
+/// sub-columns of the rows inside the union of the batch's query boxes,
+/// in node record order.
+struct SharedNode {
+    catalog: Vec<(Option<Rect>, usize, u64)>,
+    sub: Vec<Vec<f64>>,
+}
+
+/// A batch-shared superset scan over the whole cluster (see
+/// [`Executor::plan_shared_scan`]).
+struct SharedScan {
+    nodes: Vec<SharedNode>,
+}
+
+impl SharedScan {
+    /// Replays one query's per-node scans against the shared subset.
+    ///
+    /// Charges are reconstructed from the catalog exactly as the direct
+    /// scan computes them — CPU per admitted block, one sequential disk
+    /// read covering all admitted blocks — and the kernel fold visits
+    /// the query's rows in the same record order the direct scan would,
+    /// so the resulting [`NodeScan`]s are bit-identical to
+    /// [`Executor::scatter_scans`]' on a healthy cluster. (Every row in
+    /// the query box lies in the union box, and its block's bounds
+    /// necessarily intersect the query box, so the shared subset loses
+    /// nothing.)
+    fn node_scans(
+        &self,
+        candidates: &[NodeId],
+        bbox: &Rect,
+        aggregate: &AggregateKind,
+    ) -> Vec<NodeScan> {
+        candidates
+            .iter()
+            .map(|&node| {
+                let sn = &self.nodes[node];
+                let mut meter = CostMeter::new();
+                meter.touch_node(DIRECT_LAYERS);
+                let mut stats = ScanStats {
+                    blocks_total: sn.catalog.len(),
+                    ..ScanStats::default()
+                };
+                for (bounds, rows, bytes) in &sn.catalog {
+                    if !bounds.as_ref().is_some_and(|bb| bb.intersects(bbox)) {
+                        continue;
+                    }
+                    stats.blocks_read += 1;
+                    stats.bytes_read += bytes;
+                    meter.charge_cpu(*rows as u64);
+                }
+                if stats.bytes_read > 0 {
+                    meter.charge_disk_read(stats.bytes_read);
+                }
+                let sub_len = sn.sub.first().map_or(0, Vec::len);
+                let qmask = kernels::range_mask(&sn.sub, sub_len, bbox.lo(), bbox.hi());
+                stats.records_returned = qmask.count();
+                let mut acc = KernelAcc::new(aggregate);
+                acc.push(&sn.sub, &qmask);
+                let partial = acc.finish();
+                meter.charge_lan(partial.wire_bytes());
+                NodeScan {
+                    partial: Some(partial),
+                    meter,
+                    stats,
+                    retries: 0,
+                    failover: false,
+                    unavailable: false,
+                    records: None,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Phase-A output for one block: whether the zone map admits it, how
+/// many rows its bounding-box filter returns, and the selection bitmap
+/// of rows matching the query region (the rows the kernel fold visits).
+#[derive(Clone)]
+struct BlockEval {
+    read: bool,
+    returned: usize,
+    refined: SelectionMask,
+}
+
+/// Evaluates one block's masks for `query`. `bbox = None` is the
+/// full-scan (BDAS) path: every block is read and `refined` selects the
+/// region's rows among all of them. `bbox = Some` is the zone-map pruned
+/// path: non-intersecting blocks are skipped, and `refined` is the exact
+/// equivalent of bounding-box filtering followed by
+/// `region.contains_record`.
+fn eval_block(b: &Block, query: &AnalyticalQuery, bbox: Option<&Rect>) -> BlockEval {
+    let Some(rect) = bbox else {
+        return BlockEval {
+            read: true,
+            returned: b.len(),
+            refined: b.region_mask(&query.region),
+        };
+    };
+    if !b.bounds().is_some_and(|bounds| bounds.intersects(rect)) {
+        return BlockEval {
+            read: false,
+            returned: 0,
+            refined: SelectionMask::none(0),
+        };
+    }
+    let bmask = b.bbox_mask(rect);
+    let returned = bmask.count();
+    let refined = match &query.region {
+        // For a rectangular region the bounding box *is* the region, so
+        // the bbox mask already is the exact selection.
+        Region::Range(_) => bmask,
+        other => {
+            let mut m = b.region_mask(other);
+            m.intersect(&bmask);
+            m
+        }
+    };
+    BlockEval {
+        read: true,
+        returned,
+        refined,
+    }
+}
+
+/// A running per-node partial folded directly over column slices: the
+/// columnar twin of [`make_partial`], executing the exact same float
+/// operations in the exact same (record) order over the selected rows,
+/// so the resulting [`Partial`] is bit-identical to the row path's.
+enum KernelAcc {
+    Count {
+        count: u64,
+    },
+    SumSq {
+        dim: usize,
+        count: u64,
+        sum: f64,
+        sum_sq: f64,
+    },
+    Welford {
+        dim: usize,
+        count: u64,
+        mean: f64,
+        m2: f64,
+    },
+    MinMax {
+        dim: usize,
+        min: f64,
+        max: f64,
+    },
+    Values {
+        dim: usize,
+        values: Vec<f64>,
+    },
+    Bivariate {
+        x: usize,
+        y: usize,
+        stats: BivariateStats,
+    },
+    /// Future `AggregateKind` variants: finishes to an empty `Values`
+    /// partial, exactly as [`make_partial`]'s fallback arm does.
+    Opaque,
+}
+
+impl KernelAcc {
+    fn new(agg: &AggregateKind) -> Self {
+        match *agg {
+            AggregateKind::Count => KernelAcc::Count { count: 0 },
+            AggregateKind::Sum { dim } | AggregateKind::Mean { dim } => KernelAcc::SumSq {
+                dim,
+                count: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+            },
+            AggregateKind::Variance { dim } => KernelAcc::Welford {
+                dim,
+                count: 0,
+                mean: 0.0,
+                m2: 0.0,
+            },
+            AggregateKind::Min { dim } | AggregateKind::Max { dim } => KernelAcc::MinMax {
+                dim,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            },
+            AggregateKind::Median { dim } | AggregateKind::Quantile { dim, .. } => {
+                KernelAcc::Values {
+                    dim,
+                    values: Vec::new(),
+                }
+            }
+            AggregateKind::Correlation { x, y } | AggregateKind::Regression { x, y } => {
+                KernelAcc::Bivariate {
+                    x,
+                    y,
+                    stats: BivariateStats::default(),
+                }
+            }
+            _ => KernelAcc::Opaque,
+        }
+    }
+
+    /// Folds the rows `mask` selects from `cols` into the accumulator,
+    /// in row order.
+    fn push(&mut self, cols: &[Vec<f64>], mask: &SelectionMask) {
+        if mask.is_none_set() {
+            return;
+        }
+        match self {
+            KernelAcc::Count { count } => *count += mask.count() as u64,
+            KernelAcc::SumSq {
+                dim,
+                count,
+                sum,
+                sum_sq,
+            } => {
+                *count += mask.count() as u64;
+                kernels::fold_sum_sq(&cols[*dim], mask, sum, sum_sq);
+            }
+            KernelAcc::Welford {
+                dim,
+                count,
+                mean,
+                m2,
+            } => kernels::fold_welford(&cols[*dim], mask, count, mean, m2),
+            KernelAcc::MinMax { dim, min, max } => {
+                kernels::fold_min_max(&cols[*dim], mask, min, max)
+            }
+            KernelAcc::Values { dim, values } => kernels::gather(&cols[*dim], mask, values),
+            KernelAcc::Bivariate { x, y, stats } => {
+                kernels::fold_bivariate(&cols[*x], &cols[*y], mask, stats)
+            }
+            KernelAcc::Opaque => {}
+        }
+    }
+
+    fn finish(self) -> Partial {
+        match self {
+            KernelAcc::Count { count } => Partial::CountSum {
+                count,
+                sum: 0.0,
+                sum_sq: 0.0,
+            },
+            KernelAcc::SumSq {
+                count, sum, sum_sq, ..
+            } => Partial::CountSum { count, sum, sum_sq },
+            KernelAcc::Welford {
+                count, mean, m2, ..
+            } => Partial::Moments { count, mean, m2 },
+            KernelAcc::MinMax { min, max, .. } => Partial::MinMax { min, max },
+            KernelAcc::Values { values, .. } => Partial::Values(values),
+            KernelAcc::Bivariate { stats, .. } => Partial::Bivariate(stats),
+            KernelAcc::Opaque => Partial::Values(Vec::new()),
+        }
     }
 }
 
@@ -967,7 +1507,7 @@ mod tests {
     }
 
     fn oracle(c: &StorageCluster, table: &str, q: &AnalyticalQuery) -> AnswerValue {
-        let all: Vec<Record> = c.all_records(table).unwrap().into_iter().cloned().collect();
+        let all: Vec<Record> = c.all_records(table).unwrap();
         q.answer_exact(&all).unwrap()
     }
 

@@ -159,6 +159,21 @@ impl StorageCluster {
         self.faults.as_deref().map(FaultState::plan)
     }
 
+    /// Whether a fault-injection plan is installed. Engines with a
+    /// metadata-level fast path (reading blocks directly via
+    /// [`StorageCluster::serving_node`]) must fall back to the
+    /// fault-gated scan API when this is true, so injected faults keep
+    /// their per-operation determinism contract.
+    pub fn has_fault_plan(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Whether any node's primary is currently unable to serve (manually
+    /// failed or crashed by the fault plan).
+    pub fn any_primary_down(&self) -> bool {
+        (0..self.n_nodes).any(|n| self.primary_down(n))
+    }
+
     /// Whether partition `node`'s primary is currently unable to serve —
     /// manually failed or crashed by the fault plan. A successful scan of
     /// such a partition was served by its replica (a failover).
@@ -368,12 +383,12 @@ impl StorageCluster {
     ///
     /// [`SeaError::NotFound`] for missing table, [`SeaError::Storage`] for
     /// an out-of-range node id.
-    pub fn scan_node<'a>(
-        &'a self,
+    pub fn scan_node(
+        &self,
         name: &str,
         node: NodeId,
         meter: &mut CostMeter,
-    ) -> Result<Vec<&'a Record>> {
+    ) -> Result<Vec<Record>> {
         self.scan_node_traced(name, node, &TraceContext::NONE, meter)
     }
 
@@ -386,13 +401,13 @@ impl StorageCluster {
     /// # Errors
     ///
     /// As [`StorageCluster::scan_node`].
-    pub fn scan_node_traced<'a>(
-        &'a self,
+    pub fn scan_node_traced(
+        &self,
         name: &str,
         node: NodeId,
         parent: &TraceContext,
         meter: &mut CostMeter,
-    ) -> Result<Vec<&'a Record>> {
+    ) -> Result<Vec<Record>> {
         let meta = self.meta(name)?;
         let slow = self.fault_gate(node)?;
         let n = self.serving_copy(meta, node)?;
@@ -418,12 +433,12 @@ impl StorageCluster {
     /// # Errors
     ///
     /// As [`StorageCluster::scan_node`].
-    pub fn scan_node_stats<'a>(
-        &'a self,
+    pub fn scan_node_stats(
+        &self,
         name: &str,
         node: NodeId,
         meter: &mut CostMeter,
-    ) -> Result<(Vec<&'a Record>, crate::node::ScanStats)> {
+    ) -> Result<(Vec<Record>, crate::node::ScanStats)> {
         let meta = self.meta(name)?;
         let slow = self.fault_gate(node)?;
         let n = self.serving_copy(meta, node)?;
@@ -437,13 +452,13 @@ impl StorageCluster {
     /// # Errors
     ///
     /// As [`StorageCluster::scan_node_region`].
-    pub fn scan_node_region_stats<'a>(
-        &'a self,
+    pub fn scan_node_region_stats(
+        &self,
         name: &str,
         node: NodeId,
         region: &Rect,
         meter: &mut CostMeter,
-    ) -> Result<(Vec<&'a Record>, crate::node::ScanStats)> {
+    ) -> Result<(Vec<Record>, crate::node::ScanStats)> {
         let meta = self.meta(name)?;
         SeaError::check_dims(meta.dims, region.dims())?;
         let slow = self.fault_gate(node)?;
@@ -533,6 +548,25 @@ impl StorageCluster {
         )))
     }
 
+    /// The [`DataNode`] currently serving partition `node` of table
+    /// `name`, plus whether that copy is a replica failover (primary
+    /// down). This is quiet, metadata-level access for engines that run
+    /// their own columnar kernels over [`DataNode::blocks`]; it does
+    /// **not** consult the fault gate, so callers must check
+    /// [`StorageCluster::has_fault_plan`] first and use the scan API when
+    /// a plan is installed.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NotFound`] for a missing table, [`SeaError::Storage`]
+    /// for an out-of-range node id or an unservable partition (node down
+    /// with no live replica).
+    pub fn serving_node(&self, name: &str, node: NodeId) -> Result<(&DataNode, bool)> {
+        let meta = self.meta(name)?;
+        let n = self.serving_copy(meta, node)?;
+        Ok((n, self.primary_down(node)))
+    }
+
     /// Runs `scan` charging `meter`, scaling the scan's incremental cost
     /// by `multiplier` (the fault plan's slow-node model: everything the
     /// scan did takes `multiplier`× longer).
@@ -558,13 +592,13 @@ impl StorageCluster {
     ///
     /// As [`StorageCluster::scan_node`], plus a dimension mismatch when the
     /// region's dimensionality differs from the table's.
-    pub fn scan_node_region<'a>(
-        &'a self,
+    pub fn scan_node_region(
+        &self,
         name: &str,
         node: NodeId,
         region: &Rect,
         meter: &mut CostMeter,
-    ) -> Result<Vec<&'a Record>> {
+    ) -> Result<Vec<Record>> {
         self.scan_node_region_traced(name, node, region, &TraceContext::NONE, meter)
     }
 
@@ -574,14 +608,14 @@ impl StorageCluster {
     /// # Errors
     ///
     /// As [`StorageCluster::scan_node_region`].
-    pub fn scan_node_region_traced<'a>(
-        &'a self,
+    pub fn scan_node_region_traced(
+        &self,
         name: &str,
         node: NodeId,
         region: &Rect,
         parent: &TraceContext,
         meter: &mut CostMeter,
-    ) -> Result<Vec<&'a Record>> {
+    ) -> Result<Vec<Record>> {
         let meta = self.meta(name)?;
         SeaError::check_dims(meta.dims, region.dims())?;
         let slow = self.fault_gate(node)?;
@@ -665,12 +699,12 @@ impl StorageCluster {
     /// # Errors
     ///
     /// [`SeaError::NotFound`] when the table does not exist.
-    pub fn all_records(&self, name: &str) -> Result<Vec<&Record>> {
+    pub fn all_records(&self, name: &str) -> Result<Vec<Record>> {
         let meta = self.meta(name)?;
         let mut out = Vec::new();
         for n in &meta.nodes {
             for b in n.blocks() {
-                out.extend(b.records().iter());
+                out.extend(b.to_records());
             }
         }
         Ok(out)

@@ -2,34 +2,88 @@
 
 use serde::{Deserialize, Serialize};
 
-use sea_common::{CostMeter, Record, Rect};
+use sea_common::{kernels, CostMeter, Record, RecordId, Rect, Region, SelectionMask};
 
-/// A storage block: the unit of disk I/O. Blocks carry the bounding
-/// rectangle of their records so engines can prune irrelevant blocks
-/// without reading them (the zone-map style metadata that makes "surgical"
-/// access possible at all).
+/// A storage block: the unit of disk I/O, stored **column-major**.
+///
+/// Records are decomposed on ingest into a contiguous id column plus one
+/// `Vec<f64>` per dimension, with a validity bitmap per column marking
+/// non-NaN (present) values. Scans evaluate predicates as selection
+/// bitmaps over the dimension arrays — tight slice loops the compiler
+/// autovectorizes — and only then gather or materialize the selected
+/// values.
+///
+/// Blocks also carry the bounding rectangle of their records so engines
+/// can prune irrelevant blocks without reading them (the zone-map style
+/// metadata that makes "surgical" access possible at all). Bounds are
+/// computed per dimension over *valid* values only, seeded from the
+/// first non-NaN value, so missing data never widens a zone map.
+///
+/// Rows shorter than the block arity (the max dimensionality seen at
+/// build time) are padded with NaN/invalid entries; clusters enforce
+/// uniform dimensionality per table, so padding only arises for ad-hoc
+/// node use.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Block {
-    records: Vec<Record>,
+    ids: Vec<RecordId>,
+    cols: Vec<Vec<f64>>,
+    validity: Vec<SelectionMask>,
     bounds: Option<Rect>,
     bytes: u64,
 }
 
 impl Block {
-    /// Builds a block from records, computing bounds and size.
+    /// Builds a block from records, decomposing them into columns and
+    /// computing validity bitmaps, zone-map bounds, and serialized size.
     pub fn new(records: Vec<Record>) -> Self {
-        let bounds = bounds_of(&records);
         let bytes = records.iter().map(Record::storage_bytes).sum();
+        let n = records.len();
+        let dims = records.iter().map(Record::dims).max().unwrap_or(0);
+        let ids = records.iter().map(|r| r.id).collect();
+        let mut cols: Vec<Vec<f64>> = Vec::with_capacity(dims);
+        for d in 0..dims {
+            cols.push(
+                records
+                    .iter()
+                    .map(|r| r.values.get(d).copied().unwrap_or(f64::NAN))
+                    .collect(),
+            );
+        }
+        let validity: Vec<SelectionMask> =
+            cols.iter().map(|c| SelectionMask::from_valid(c)).collect();
+        let bounds = bounds_of(&cols, &validity, n);
         Block {
-            records,
+            ids,
+            cols,
+            validity,
             bounds,
             bytes,
         }
     }
 
-    /// Records stored in the block.
-    pub fn records(&self) -> &[Record] {
-        &self.records
+    /// The id column.
+    pub fn ids(&self) -> &[RecordId] {
+        &self.ids
+    }
+
+    /// Number of dimensions (columns) in the block.
+    pub fn dims(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The values of dimension `d`, one entry per row (NaN = missing).
+    pub fn col(&self, d: usize) -> &[f64] {
+        &self.cols[d]
+    }
+
+    /// All dimension columns.
+    pub fn cols(&self) -> &[Vec<f64>] {
+        &self.cols
+    }
+
+    /// The validity bitmap of dimension `d` (bit set = value present).
+    pub fn validity(&self, d: usize) -> &SelectionMask {
+        &self.validity[d]
     }
 
     /// Bounding rectangle of the block's records (`None` for empty blocks).
@@ -44,41 +98,97 @@ impl Block {
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.ids.len()
     }
 
     /// Whether the block holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.ids.is_empty()
+    }
+
+    /// Materializes row `i` back into a [`Record`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn record(&self, i: usize) -> Record {
+        Record::new(self.ids[i], self.cols.iter().map(|c| c[i]).collect())
+    }
+
+    /// Materializes every row back into [`Record`]s, in row order.
+    pub fn to_records(&self) -> Vec<Record> {
+        (0..self.len()).map(|i| self.record(i)).collect()
+    }
+
+    /// Selection bitmap of rows inside the inclusive box `region` — the
+    /// columnar equivalent of the row filter `r.dims() == region.dims()
+    /// && ∀d: lo[d] <= v[d] <= hi[d]`. A dimensionality mismatch selects
+    /// nothing; NaN (missing) values never match.
+    pub fn bbox_mask(&self, region: &Rect) -> SelectionMask {
+        if self.dims() != region.dims() {
+            return SelectionMask::none(self.len());
+        }
+        kernels::range_mask(&self.cols, self.len(), region.lo(), region.hi())
+    }
+
+    /// Selection bitmap of rows inside `region`, bit-identical to
+    /// filtering materialized rows through `region.contains_record`.
+    pub fn region_mask(&self, region: &Region) -> SelectionMask {
+        match region {
+            Region::Range(r) => self.bbox_mask(r),
+            Region::Radius(b) => {
+                if self.dims() != b.dims() {
+                    return SelectionMask::none(self.len());
+                }
+                kernels::ball_mask(&self.cols, self.len(), b.center().coords(), b.radius())
+            }
+            // Future region variants: fall back to the row-at-a-time check.
+            other => {
+                let mut m = SelectionMask::none(self.len());
+                for i in 0..self.len() {
+                    if other.contains_record(&self.record(i)) {
+                        m.set(i);
+                    }
+                }
+                m
+            }
+        }
     }
 }
 
-fn bounds_of(records: &[Record]) -> Option<Rect> {
-    let first = records.first()?;
-    let dims = first.dims();
-    let mut lo = first.values.clone();
-    let mut hi = first.values.clone();
-    for r in &records[1..] {
-        for d in 0..dims.min(r.dims()) {
-            // NaN values (missing data) are excluded from bounds.
-            let v = r.value(d);
-            if v.is_nan() {
-                continue;
-            }
-            if v < lo[d] {
-                lo[d] = v;
-            }
-            if v > hi[d] {
-                hi[d] = v;
-            }
-        }
+/// Zone-map bounds over columns: per dimension, the min/max of *valid*
+/// (non-NaN) values, seeded from the first valid value so a leading NaN
+/// can never poison the bounds. Dimensions with no valid value at all
+/// fall back to wide ±1e300 sentinels (conservative: never prunes).
+fn bounds_of(cols: &[Vec<f64>], validity: &[SelectionMask], n: usize) -> Option<Rect> {
+    if n == 0 || cols.is_empty() {
+        return None;
     }
-    // Records with NaN in the first row would poison bounds; sanitize.
-    for d in 0..dims {
-        if lo[d].is_nan() || hi[d].is_nan() {
-            lo[d] = f64::NEG_INFINITY.max(-1e300);
-            hi[d] = f64::INFINITY.min(1e300);
+    let mut lo = Vec::with_capacity(cols.len());
+    let mut hi = Vec::with_capacity(cols.len());
+    for (col, valid) in cols.iter().zip(validity) {
+        let mut d_lo = f64::NAN;
+        let mut d_hi = f64::NAN;
+        valid.for_each_set(|i| {
+            let v = col[i];
+            if d_lo.is_nan() {
+                d_lo = v;
+                d_hi = v;
+            } else {
+                if v < d_lo {
+                    d_lo = v;
+                }
+                if v > d_hi {
+                    d_hi = v;
+                }
+            }
+        });
+        if d_lo.is_nan() || d_hi.is_nan() {
+            d_lo = -1e300;
+            d_hi = 1e300;
         }
+        lo.push(d_lo);
+        hi.push(d_hi);
     }
     Rect::new(lo, hi).ok()
 }
@@ -98,7 +208,7 @@ pub struct ScanStats {
     pub records_returned: usize,
 }
 
-/// One simulated data-server node: a list of blocks per table.
+/// One simulated data-server node: a list of columnar blocks per table.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DataNode {
     blocks: Vec<Block>,
@@ -144,22 +254,22 @@ impl DataNode {
     /// Reads **every** block, charging `meter` one read *per block*: the
     /// BDAS full-scan path launches a task per block/split, so each block
     /// carries a seek-equivalent scheduling overhead (the per-layer tax is
-    /// charged separately by callers via `touch_node`). Returns references
-    /// to all records.
-    pub fn scan_all<'a>(&'a self, meter: &mut CostMeter) -> Vec<&'a Record> {
+    /// charged separately by callers via `touch_node`). Returns all
+    /// records, materialized in row order.
+    pub fn scan_all(&self, meter: &mut CostMeter) -> Vec<Record> {
         self.scan_all_stats(meter).0
     }
 
     /// [`DataNode::scan_all`] plus the [`ScanStats`] describing what the
     /// scan touched (identical cost charges).
-    pub fn scan_all_stats<'a>(&'a self, meter: &mut CostMeter) -> (Vec<&'a Record>, ScanStats) {
+    pub fn scan_all_stats(&self, meter: &mut CostMeter) -> (Vec<Record>, ScanStats) {
         let mut out = Vec::with_capacity(self.len());
         let mut bytes_read = 0u64;
         for b in &self.blocks {
             meter.charge_disk_read(b.bytes());
             meter.charge_cpu(b.len() as u64);
             bytes_read += b.bytes();
-            out.extend(b.records().iter());
+            out.extend(b.to_records());
         }
         let stats = ScanStats {
             blocks_total: self.blocks.len(),
@@ -175,17 +285,17 @@ impl DataNode {
     /// the coordinator path reads pruned block ranges in one sweep — and
     /// returns the records inside `region`'s bounding box. Blocks with no
     /// bounds (empty) are skipped free.
-    pub fn scan_region<'a>(&'a self, region: &Rect, meter: &mut CostMeter) -> Vec<&'a Record> {
+    pub fn scan_region(&self, region: &Rect, meter: &mut CostMeter) -> Vec<Record> {
         self.scan_region_stats(region, meter).0
     }
 
     /// [`DataNode::scan_region`] plus the [`ScanStats`] describing how
     /// many blocks the zone maps pruned (identical cost charges).
-    pub fn scan_region_stats<'a>(
-        &'a self,
+    pub fn scan_region_stats(
+        &self,
         region: &Rect,
         meter: &mut CostMeter,
-    ) -> (Vec<&'a Record>, ScanStats) {
+    ) -> (Vec<Record>, ScanStats) {
         let mut out = Vec::new();
         let mut read_bytes = 0u64;
         let mut blocks_read = 0usize;
@@ -197,13 +307,7 @@ impl DataNode {
             read_bytes += b.bytes();
             blocks_read += 1;
             meter.charge_cpu(b.len() as u64);
-            out.extend(b.records().iter().filter(|r| {
-                r.dims() == region.dims()
-                    && r.values
-                        .iter()
-                        .enumerate()
-                        .all(|(d, &v)| region.lo()[d] <= v && v <= region.hi()[d])
-            }));
+            b.bbox_mask(region).for_each_set(|i| out.push(b.record(i)));
         }
         if read_bytes > 0 {
             meter.charge_disk_read(read_bytes);
@@ -222,11 +326,12 @@ impl DataNode {
     pub fn delete_where(&mut self, pred: impl Fn(&Record) -> bool) -> usize {
         let mut removed = 0;
         for b in &mut self.blocks {
-            let before = b.records.len();
-            b.records.retain(|r| !pred(r));
-            if b.records.len() != before {
-                removed += before - b.records.len();
-                *b = Block::new(std::mem::take(&mut b.records));
+            let before = b.len();
+            let mut keep = b.to_records();
+            keep.retain(|r| !pred(r));
+            if keep.len() != before {
+                removed += before - keep.len();
+                *b = Block::new(keep);
             }
         }
         self.blocks.retain(|b| !b.is_empty());
@@ -261,6 +366,37 @@ mod tests {
         assert_eq!(bounds.lo(), &[0.0, 0.0]);
         assert_eq!(bounds.hi(), &[9.0, 18.0]);
         assert_eq!(b.bytes(), 10 * (8 + 16));
+    }
+
+    #[test]
+    fn columnar_round_trip_preserves_records() {
+        let original = recs(25);
+        let b = Block::new(original.clone());
+        assert_eq!(b.dims(), 2);
+        assert_eq!(&b.ids()[..3], &[0, 1, 2]);
+        assert_eq!(b.col(0)[7], 7.0);
+        assert_eq!(b.col(1)[7], 14.0);
+        assert_eq!(b.to_records(), original);
+        assert_eq!(b.record(3), original[3]);
+    }
+
+    #[test]
+    fn validity_bitmaps_track_missing_values() {
+        let b = Block::new(vec![
+            Record::new(0, vec![1.0, f64::NAN]),
+            Record::new(1, vec![2.0, 5.0]),
+        ]);
+        assert_eq!(b.validity(0).count(), 2);
+        assert_eq!(b.validity(1).to_indices(), vec![1]);
+    }
+
+    #[test]
+    fn empty_block_has_no_bounds() {
+        let b = Block::new(Vec::new());
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert!(b.bounds().is_none());
+        assert!(b.to_records().is_empty());
     }
 
     #[test]
@@ -328,7 +464,54 @@ mod tests {
         let bounds = b.bounds().unwrap();
         assert_eq!(bounds.lo()[0], 1.0);
         assert_eq!(bounds.hi()[0], 3.0);
-        assert!(bounds.lo()[1].is_finite());
-        assert!(bounds.hi()[1].is_finite());
+        // Regression: a NaN in the *first* record used to poison the whole
+        // dimension to ±1e300 sentinels. Bounds must be tight, not merely
+        // finite — the only valid value in dim 1 is 5.0.
+        assert_eq!(bounds.lo()[1], 5.0);
+        assert_eq!(bounds.hi()[1], 5.0);
+    }
+
+    #[test]
+    fn leading_nan_keeps_bounds_tight_for_pruning() {
+        let records = vec![
+            Record::new(0, vec![f64::NAN, 2.0]),
+            Record::new(1, vec![5.0, 3.0]),
+            Record::new(2, vec![7.0, 1.0]),
+        ];
+        let bounds = Block::new(records).bounds().unwrap().clone();
+        assert_eq!((bounds.lo()[0], bounds.hi()[0]), (5.0, 7.0));
+        // Tight bounds mean a disjoint region can actually prune the block.
+        let far = Rect::new(vec![100.0, 0.0], vec![200.0, 10.0]).unwrap();
+        assert!(!bounds.intersects(&far));
+    }
+
+    #[test]
+    fn all_nan_dimension_falls_back_to_wide_sentinels() {
+        let records = vec![
+            Record::new(0, vec![1.0, f64::NAN]),
+            Record::new(1, vec![2.0, f64::NAN]),
+        ];
+        let bounds = Block::new(records).bounds().unwrap().clone();
+        assert_eq!((bounds.lo()[0], bounds.hi()[0]), (1.0, 2.0));
+        assert!(bounds.lo()[1].is_finite() && bounds.lo()[1] <= -1e300);
+        assert!(bounds.hi()[1].is_finite() && bounds.hi()[1] >= 1e300);
+    }
+
+    #[test]
+    fn region_mask_matches_row_filter() {
+        let records: Vec<Record> = (0..50)
+            .map(|i| Record::new(i, vec![i as f64, (i % 7) as f64]))
+            .collect();
+        let b = Block::new(records.clone());
+        let rect = Rect::new(vec![10.0, 1.0], vec![30.0, 4.0]).unwrap();
+        let region = Region::Range(rect.clone());
+        let want: Vec<usize> = (0..records.len())
+            .filter(|&i| region.contains_record(&records[i]))
+            .collect();
+        assert_eq!(b.bbox_mask(&rect).to_indices(), want);
+        assert_eq!(b.region_mask(&region).to_indices(), want);
+        // Dimensionality mismatch selects nothing, like the row filter.
+        let skinny = Rect::new(vec![0.0], vec![100.0]).unwrap();
+        assert!(b.bbox_mask(&skinny).is_none_set());
     }
 }

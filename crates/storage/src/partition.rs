@@ -38,6 +38,13 @@ impl Partitioning {
     }
 
     /// The node a record belongs to, given `n_nodes` nodes.
+    ///
+    /// Range partitioning routes a record whose partitioning attribute is
+    /// NaN (missing) to **node 0** by convention. Such records are
+    /// invisible to [`Partitioning::nodes_for_region`] pruning, which is
+    /// consistent rather than lossy: a NaN value never satisfies any
+    /// range predicate, so no region scan can match the record anyway —
+    /// only full scans (which engage every node) can see it.
     pub fn node_for(&self, record: &Record, n_nodes: usize) -> NodeId {
         match self {
             Partitioning::Hash => {
@@ -46,8 +53,11 @@ impl Partitioning {
             }
             Partitioning::Range { dim, splits } => {
                 let v = record.value(*dim);
+                if v.is_nan() {
+                    return 0;
+                }
                 let idx = splits.partition_point(|s| *s <= v);
-                idx.min(n_nodes - 1)
+                idx.min(n_nodes.saturating_sub(1))
             }
         }
     }
@@ -58,6 +68,9 @@ impl Partitioning {
     /// whose value interval overlaps the region's interval in the
     /// partitioning dimension.
     pub fn nodes_for_region(&self, region: &Rect, n_nodes: usize) -> Vec<NodeId> {
+        if n_nodes == 0 {
+            return Vec::new();
+        }
         match self {
             Partitioning::Hash => (0..n_nodes).collect(),
             Partitioning::Range { dim, splits } => {
@@ -74,7 +87,17 @@ impl Partitioning {
     }
 
     /// Builds equi-width range splits over `[lo, hi]` for `n_nodes` nodes.
+    ///
+    /// Degenerate inputs — `n_nodes <= 1`, a non-finite bound, or an
+    /// inverted interval (`lo > hi`) — yield **no** splits rather than
+    /// NaN or descending split points that would silently corrupt
+    /// `partition_point` routing. An empty split list routes every record
+    /// to node 0 and prunes every region to node 0, which stays
+    /// internally consistent.
     pub fn equi_width_splits(lo: f64, hi: f64, n_nodes: usize) -> Vec<f64> {
+        if n_nodes <= 1 || !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Vec::new();
+        }
         let width = (hi - lo) / n_nodes as f64;
         (1..n_nodes).map(|i| lo + width * i as f64).collect()
     }
@@ -146,6 +169,35 @@ mod tests {
     }
 
     #[test]
+    fn equi_width_splits_guard_degenerate_inputs() {
+        // Zero nodes: no division by zero, no splits.
+        assert!(Partitioning::equi_width_splits(0.0, 100.0, 0).is_empty());
+        // Inverted interval would produce descending splits.
+        assert!(Partitioning::equi_width_splits(100.0, 0.0, 4).is_empty());
+        // Non-finite bounds would produce NaN/infinite splits.
+        assert!(Partitioning::equi_width_splits(f64::NAN, 100.0, 4).is_empty());
+        assert!(Partitioning::equi_width_splits(0.0, f64::INFINITY, 4).is_empty());
+        // A degenerate (but valid) single-point interval collapses every
+        // split to the same value — routing still works via partition_point.
+        let s = Partitioning::equi_width_splits(5.0, 5.0, 4);
+        assert_eq!(s, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_splits_route_consistently() {
+        // With no valid splits, every record routes to node 0 and every
+        // region prunes to node 0: degenerate but internally consistent.
+        let p = Partitioning::Range {
+            dim: 0,
+            splits: Partitioning::equi_width_splits(f64::NAN, 100.0, 4),
+        };
+        let rec = Record::new(0, vec![42.0]);
+        assert_eq!(p.node_for(&rec, 4), 0);
+        let region = Rect::new(vec![40.0], vec![45.0]).unwrap();
+        assert_eq!(p.nodes_for_region(&region, 4), vec![0]);
+    }
+
+    #[test]
     fn range_partition_roundtrip_with_pruning() {
         // Every record must land on a node the pruner would visit for a
         // region containing the record.
@@ -162,6 +214,20 @@ mod tests {
                 p.nodes_for_region(&region, 8).contains(&node),
                 "value {v} on node {node} missed by pruner"
             );
+        }
+        // NaN in the partitioning dimension: routed to node 0 by the
+        // explicit convention, deterministically.
+        let nan_rec = Record::new(1000, vec![f64::NAN]);
+        assert_eq!(p.node_for(&nan_rec, 8), 0);
+        // Pruning never "misses" NaN records because no finite region can
+        // contain them — the value fails every range predicate — so the
+        // roundtrip invariant (record reachable on its routed node) holds
+        // vacuously for every region a pruner could be asked about.
+        for rect in [
+            Rect::new(vec![-1e300], vec![1e300]).unwrap(),
+            Rect::new(vec![0.0], vec![100.0]).unwrap(),
+        ] {
+            assert!(!sea_common::Region::Range(rect).contains_record(&nan_rec));
         }
     }
 }
