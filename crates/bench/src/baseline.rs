@@ -29,13 +29,15 @@ pub const BASELINE_SCHEMA_VERSION: u64 = 1;
 /// The fixed experiment subset the harness runs: E1 (data-less vs
 /// BDAS), E4 (rank join), E7 (throughput), E8 (storage footprint) —
 /// together they exercise the executor, storage, pipeline, and agent
-/// layers — plus E18 (fault tolerance), E19 (semantic cache), and E20
-/// (multi-tenant admission), whose metrics are recorded for
-/// trend-watching only (injected faults measure the recovery machinery,
-/// cache arms deliberately skip scans, and admission deliberately
-/// rejects load, so none of them measures the steady-state query path
-/// and none of them gate).
-pub const BASELINE_EXPERIMENTS: [&str; 8] = ["e1", "e4", "e7", "e8", "e18", "e19", "e20", "e21"];
+/// layers — plus E18 (fault tolerance), E19 (semantic cache), E20
+/// (multi-tenant admission), E21 (watch layer), and E22 (declarative
+/// replay), whose metrics are recorded for trend-watching only
+/// (injected faults measure the recovery machinery, cache arms
+/// deliberately skip scans, admission deliberately rejects load, and
+/// the replay re-executes every statement twice by design, so none of
+/// them measures the steady-state query path and none of them gate).
+pub const BASELINE_EXPERIMENTS: [&str; 9] =
+    ["e1", "e4", "e7", "e8", "e18", "e19", "e20", "e21", "e22"];
 
 /// Default relative tolerance for [`compare`]: a gated metric may move
 /// up to this fraction in its bad direction before it counts as a
@@ -278,6 +280,26 @@ pub fn collect() -> sea_common::Result<BenchBaseline> {
             for (name, counter) in [
                 ("watch_alerts", "watch.alerts"),
                 ("watch_suspects", "watch.suspects"),
+            ] {
+                metrics.push(HeadlineMetric {
+                    name: name.to_string(),
+                    value: snap.counter(counter) as f64,
+                    higher_is_better: false,
+                    gate: false,
+                });
+            }
+        }
+        if id == "e22" {
+            // The replay runs every statement through both the
+            // declarative and the hand-built path, so storage counters
+            // are doubled by construction and measure the comparison
+            // harness, not the query path — trends only, like E18.
+            for m in &mut metrics {
+                m.gate = false;
+            }
+            for (name, counter) in [
+                ("lang_statements", "lang.statements"),
+                ("lang_mismatch", "lang.mismatch"),
             ] {
                 metrics.push(HeadlineMetric {
                     name: name.to_string(),

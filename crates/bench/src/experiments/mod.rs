@@ -23,6 +23,7 @@ mod e18_faults;
 mod e19_semantic_cache;
 mod e20_multitenant;
 mod e21_watch;
+mod e22_lang_replay;
 
 pub use a01_ablations::{run_a1, run_a1_with};
 pub use e01_dataless::{run_e1, run_e1_with};
@@ -48,10 +49,11 @@ pub use e20_multitenant::{e20_stats_with, run_e20, run_e20_with};
 pub use e21_watch::{
     e21_arms_with_pool, e21_watch_with, run_e21, run_e21_with, WatchArm, WatchReport,
 };
+pub use e22_lang_replay::{e22_statements, run_e22, run_e22_with, run_e22_with_pool, E22_REPLAY};
 
 use crate::Report;
 
-/// Runs one experiment by id (`"e1"`…`"e19"` or `"a1"`,
+/// Runs one experiment by id (`"e1"`…`"e22"` or `"a1"`,
 /// case-insensitive) without telemetry.
 ///
 /// # Errors
@@ -92,6 +94,7 @@ pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_comm
         "e19" => run_e19_with(sink),
         "e20" => run_e20_with(sink),
         "e21" => run_e21_with(sink),
+        "e22" => run_e22_with(sink),
         "a1" => run_a1_with(sink),
         other => Err(sea_common::SeaError::NotFound(format!(
             "experiment {other}"
@@ -106,9 +109,9 @@ pub fn run_by_id_with(id: &str, sink: &sea_telemetry::TelemetrySink) -> sea_comm
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "a1",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "a1",
 ];
 
 /// Per-query ledger stats for experiments that run through the

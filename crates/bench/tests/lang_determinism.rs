@@ -1,0 +1,41 @@
+//! E22's determinism contract, pinned across executor pool sizes: the
+//! declarative replay produces bit-identical answers and simulated
+//! costs at 1, 2, and 8 worker threads, and every statement matches the
+//! hand-built query path (`bit_identical` column all 1.0). This is the
+//! statement-surface analogue of the executor's own cross-pool
+//! determinism tests: parallelism may change wall time, never answers.
+
+use sea_bench::experiments::{e22_statements, run_e22_with_pool};
+use sea_query::ExecPool;
+use sea_telemetry::TelemetrySink;
+
+fn rows_bits(report: &sea_bench::Report) -> Vec<Vec<u64>> {
+    report
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn e22_replay_is_bit_identical_across_pool_sizes() {
+    let baseline = run_e22_with_pool(&TelemetrySink::noop(), Some(ExecPool::new(1))).unwrap();
+    assert_eq!(baseline.rows.len(), e22_statements().len());
+    for row in &baseline.rows {
+        assert_eq!(
+            row[4], 1.0,
+            "statement {} diverged from its hand-built equivalent",
+            row[0]
+        );
+    }
+    let base_bits = rows_bits(&baseline);
+    for threads in [2usize, 8] {
+        let report =
+            run_e22_with_pool(&TelemetrySink::noop(), Some(ExecPool::new(threads))).unwrap();
+        assert_eq!(
+            rows_bits(&report),
+            base_bits,
+            "E22 drifted at {threads} worker threads"
+        );
+    }
+}

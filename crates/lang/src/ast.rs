@@ -1,0 +1,235 @@
+//! The typed logical plan a statement parses to, plus its canonical
+//! pretty-printer.
+//!
+//! The printer and [`crate::parse`] are inverses: printing a plan and
+//! re-parsing the text yields a structurally equal plan (property-tested
+//! in `tests/props.rs`). Canonicalization happens at parse time — sugar
+//! aggregates (`avg`, `p95`, …) normalize to their canonical forms and
+//! range predicates sort by dimension — so the printed form is a stable
+//! identity for a statement.
+
+use std::fmt;
+
+use sea_common::AggregateKind;
+
+/// An aggregate call as written in a statement.
+///
+/// This mirrors [`AggregateKind`] but is a closed enum owned by this
+/// crate: the printer can match it exhaustively, and parser-level sugar
+/// (`avg` → [`AggSpec::Mean`], `p95(d)` → `quantile(d, 0.95)`)
+/// normalizes here before planning maps it onto the core type via
+/// [`AggSpec::to_kind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggSpec {
+    /// `count()` — number of records in the selection.
+    Count,
+    /// `sum(d)` — sum of attribute `d`.
+    Sum(usize),
+    /// `mean(d)` (also `avg(d)`) — mean of attribute `d`.
+    Mean(usize),
+    /// `variance(d)` (also `var(d)`) — population variance.
+    Variance(usize),
+    /// `min(d)` — minimum of attribute `d`.
+    Min(usize),
+    /// `max(d)` — maximum of attribute `d`.
+    Max(usize),
+    /// `median(d)` — median of attribute `d`.
+    Median(usize),
+    /// `quantile(d, q)` (also `p50`/`p95`/`p99`) — `q`-quantile.
+    Quantile(usize, f64),
+    /// `corr(x, y)` (also `correlation`) — Pearson correlation.
+    Correlation(usize, usize),
+    /// `regress(x, y)` (also `regression`) — least-squares slope and
+    /// intercept of `y` on `x`.
+    Regression(usize, usize),
+}
+
+impl AggSpec {
+    /// Maps onto the core aggregate type the executor computes.
+    pub fn to_kind(&self) -> AggregateKind {
+        match *self {
+            AggSpec::Count => AggregateKind::Count,
+            AggSpec::Sum(dim) => AggregateKind::Sum { dim },
+            AggSpec::Mean(dim) => AggregateKind::Mean { dim },
+            AggSpec::Variance(dim) => AggregateKind::Variance { dim },
+            AggSpec::Min(dim) => AggregateKind::Min { dim },
+            AggSpec::Max(dim) => AggregateKind::Max { dim },
+            AggSpec::Median(dim) => AggregateKind::Median { dim },
+            AggSpec::Quantile(dim, q) => AggregateKind::Quantile { dim, q },
+            AggSpec::Correlation(x, y) => AggregateKind::Correlation { x, y },
+            AggSpec::Regression(x, y) => AggregateKind::Regression { x, y },
+        }
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AggSpec::Count => write!(f, "count()"),
+            AggSpec::Sum(d) => write!(f, "sum(d{d})"),
+            AggSpec::Mean(d) => write!(f, "mean(d{d})"),
+            AggSpec::Variance(d) => write!(f, "variance(d{d})"),
+            AggSpec::Min(d) => write!(f, "min(d{d})"),
+            AggSpec::Max(d) => write!(f, "max(d{d})"),
+            AggSpec::Median(d) => write!(f, "median(d{d})"),
+            AggSpec::Quantile(d, q) => write!(f, "quantile(d{d}, {q:?})"),
+            AggSpec::Correlation(x, y) => write!(f, "corr(d{x}, d{y})"),
+            AggSpec::Regression(x, y) => write!(f, "regress(d{x}, d{y})"),
+        }
+    }
+}
+
+/// One per-dimension interval predicate: `d<dim> IN [lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangePred {
+    /// Constrained attribute index.
+    pub dim: usize,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+/// A whole-point ball predicate: `WITHIN BALL((c0, …), radius)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BallPred {
+    /// Ball center, one coordinate per table dimension.
+    pub center: Vec<f64>,
+    /// Ball radius (strictly positive).
+    pub radius: f64,
+}
+
+/// The statement's selection region.
+///
+/// Mirrors [`sea_common::Region`]: a selection is an axis-aligned box
+/// (conjunction of range predicates; unconstrained dimensions span the
+/// table domain) *or* one ball — the parser rejects mixtures, which the
+/// core region model cannot represent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// No `WHERE` clause: the whole table domain.
+    All,
+    /// Conjunction of ranges, sorted by dimension, one per dimension.
+    Ranges(Vec<RangePred>),
+    /// A single ball over the full point.
+    Ball(BallPred),
+}
+
+/// Execution-mode hint: who answers the statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModeHint {
+    /// Let the system decide (agent pipeline when attached, exact
+    /// otherwise) — the default.
+    #[default]
+    Auto,
+    /// Force exact execution against base data.
+    Exact,
+    /// Force the agent's prediction (never touches base data).
+    Predict,
+}
+
+impl ModeHint {
+    /// Lower-case keyword as written in statements and EXPLAIN output.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ModeHint::Auto => "auto",
+            ModeHint::Exact => "exact",
+            ModeHint::Predict => "predict",
+        }
+    }
+}
+
+/// A parsed statement: the typed logical plan the planner lowers into
+/// [`sea_common::AnalyticalQuery`] executions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalPlan {
+    /// Selected aggregates, in statement order (at least one).
+    pub aggregates: Vec<AggSpec>,
+    /// The selection region.
+    pub selection: Selection,
+    /// Execution-mode hint (`WITH MODE …`, default [`ModeHint::Auto`]).
+    pub mode: ModeHint,
+    /// Whether the statement asked for an `EXPLAIN` report.
+    pub explain: bool,
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, agg) in self.aggregates.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{agg}")?;
+        }
+        match &self.selection {
+            Selection::All => {}
+            Selection::Ranges(ranges) => {
+                write!(f, " WHERE ")?;
+                for (i, r) in ranges.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "d{} IN [{:?}, {:?}]", r.dim, r.lo, r.hi)?;
+                }
+            }
+            Selection::Ball(b) => {
+                write!(f, " WHERE WITHIN BALL((")?;
+                for (i, c) in b.center.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c:?}")?;
+                }
+                write!(f, "), {:?})", b.radius)?;
+            }
+        }
+        if self.mode != ModeHint::Auto {
+            write!(f, " WITH MODE {}", self.mode.keyword())?;
+        }
+        if self.explain {
+            write!(f, " EXPLAIN")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_printing_is_stable() {
+        let plan = LogicalPlan {
+            aggregates: vec![AggSpec::Mean(0), AggSpec::Quantile(1, 0.95)],
+            selection: Selection::Ranges(vec![RangePred {
+                dim: 0,
+                lo: 2.5,
+                hi: 10.0,
+            }]),
+            mode: ModeHint::Exact,
+            explain: true,
+        };
+        assert_eq!(
+            plan.to_string(),
+            "SELECT mean(d0), quantile(d1, 0.95) WHERE d0 IN [2.5, 10.0] WITH MODE exact EXPLAIN"
+        );
+    }
+
+    #[test]
+    fn ball_and_default_mode_print_minimally() {
+        let plan = LogicalPlan {
+            aggregates: vec![AggSpec::Count],
+            selection: Selection::Ball(BallPred {
+                center: vec![50.0, 50.0],
+                radius: 10.0,
+            }),
+            mode: ModeHint::Auto,
+            explain: false,
+        };
+        assert_eq!(
+            plan.to_string(),
+            "SELECT count() WHERE WITHIN BALL((50.0, 50.0), 10.0)"
+        );
+    }
+}

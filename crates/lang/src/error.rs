@@ -1,0 +1,75 @@
+//! Span-annotated parse errors with a stable, golden-testable rendering.
+
+use sea_common::SeaError;
+
+/// A parse failure: what went wrong, where in the statement, and the
+/// statement itself so the rendering can point at the offending bytes.
+///
+/// The [`std::fmt::Display`] output is part of the crate's contract: it
+/// is asserted verbatim by golden tests and by the error catalog in
+/// `docs/QUERYLANG.md`, so any change to the format is a breaking change
+/// to those fixtures.
+///
+/// ```
+/// let err = sea_lang::parse("SELECT frob(d0)").unwrap_err();
+/// assert_eq!(
+///     err.to_string(),
+///     "parse error at 7..11: expected aggregate function, found `frob`\n\
+///      \x20 SELECT frob(d0)\n\
+///      \x20        ^^^^",
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the offending region starts.
+    pub start: usize,
+    /// Byte offset one past the offending region (`start == end` marks a
+    /// point, e.g. unexpected end of input).
+    pub end: usize,
+    /// What was expected or which rule was violated.
+    pub message: String,
+    /// The source statement the spans index into.
+    pub src: String,
+}
+
+impl ParseError {
+    /// Creates an error over `src` at byte span `start..end`.
+    pub fn new(src: &str, start: usize, end: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            start,
+            end,
+            message: message.into(),
+            src: src.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "parse error at {}..{}: {}",
+            self.start, self.end, self.message
+        )?;
+        // Locate the line containing `start` (statements are usually one
+        // line, but the renderer must not panic on embedded newlines).
+        let start = self.start.min(self.src.len());
+        let line_start = self.src[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = self.src[line_start..]
+            .find('\n')
+            .map_or(self.src.len(), |i| line_start + i);
+        let line = &self.src[line_start..line_end];
+        writeln!(f, "  {line}")?;
+        let col = start - line_start;
+        let width = self.end.min(line_end).saturating_sub(start).max(1);
+        write!(f, "  {}{}", " ".repeat(col), "^".repeat(width))
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for SeaError {
+    fn from(e: ParseError) -> Self {
+        SeaError::InvalidArgument(e.to_string())
+    }
+}

@@ -1,0 +1,197 @@
+//! Tokenizer for the statement language.
+//!
+//! Produces identifiers/keywords, numeric literals, and punctuation,
+//! each carrying its byte span so the parser can report exact error
+//! locations. `--` starts a comment running to the end of the line
+//! (SQL convention), which is what lets workload-replay files carry
+//! annotations without a separate preprocessor.
+
+use crate::error::ParseError;
+
+/// One token kind. Keywords are lexed as [`Tok::Ident`] and resolved
+/// case-insensitively by the parser, so error messages can echo the
+/// user's original spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Number(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+}
+
+impl Tok {
+    /// How the token reads in an error message.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Number(n) => format!("`{n:?}`"),
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::LBracket => "`[`".to_string(),
+            Tok::RBracket => "`]`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+        }
+    }
+}
+
+/// A token plus its byte span in the source statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: Tok,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Tokenizes `src`, skipping whitespace and `--` comments.
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let kind = match b {
+            b'(' => {
+                i += 1;
+                Tok::LParen
+            }
+            b')' => {
+                i += 1;
+                Tok::RParen
+            }
+            b'[' => {
+                i += 1;
+                Tok::LBracket
+            }
+            b']' => {
+                i += 1;
+                Tok::RBracket
+            }
+            b',' => {
+                i += 1;
+                Tok::Comma
+            }
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                Tok::Ident(src[start..i].to_string())
+            }
+            b'0'..=b'9' | b'.' => lex_number(src, bytes, &mut i)?,
+            b'-' | b'+' if matches!(bytes.get(i + 1), Some(b'0'..=b'9' | b'.')) => {
+                lex_number(src, bytes, &mut i)?
+            }
+            _ => {
+                let ch = src[i..].chars().next().unwrap_or('?');
+                return Err(ParseError::new(
+                    src,
+                    i,
+                    i + ch.len_utf8(),
+                    format!("unexpected character `{ch}`"),
+                ));
+            }
+        };
+        toks.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    Ok(toks)
+}
+
+/// Lexes one numeric literal starting at `*i` (sign already vetted by
+/// the caller). Accepts `[+-]?digits[.digits][eE[+-]digits]`.
+fn lex_number(src: &str, bytes: &[u8], i: &mut usize) -> Result<Tok, ParseError> {
+    let start = *i;
+    if matches!(bytes[*i], b'-' | b'+') {
+        *i += 1;
+    }
+    while *i < bytes.len() && bytes[*i].is_ascii_digit() {
+        *i += 1;
+    }
+    if *i < bytes.len() && bytes[*i] == b'.' {
+        *i += 1;
+        while *i < bytes.len() && bytes[*i].is_ascii_digit() {
+            *i += 1;
+        }
+    }
+    if *i < bytes.len() && matches!(bytes[*i], b'e' | b'E') {
+        *i += 1;
+        if *i < bytes.len() && matches!(bytes[*i], b'-' | b'+') {
+            *i += 1;
+        }
+        while *i < bytes.len() && bytes[*i].is_ascii_digit() {
+            *i += 1;
+        }
+    }
+    let text = &src[start..*i];
+    match text.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Tok::Number(v)),
+        Ok(_) => Err(ParseError::new(
+            src,
+            start,
+            *i,
+            format!("numeric literal `{text}` overflows f64"),
+        )),
+        Err(_) => Err(ParseError::new(
+            src,
+            start,
+            *i,
+            format!("invalid number literal `{text}`"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_punctuation_idents_and_numbers() {
+        let toks = lex("SELECT mean(d0), p95(d1)").unwrap();
+        assert_eq!(toks.len(), 10);
+        assert_eq!(toks[0].kind, Tok::Ident("SELECT".into()));
+        assert_eq!(toks[2].kind, Tok::LParen);
+        assert_eq!((toks[0].start, toks[0].end), (0, 6));
+    }
+
+    #[test]
+    fn lexes_signed_and_scientific_numbers() {
+        let toks = lex("[-5.5, 1e3]").unwrap();
+        assert_eq!(toks[1].kind, Tok::Number(-5.5));
+        assert_eq!(toks[3].kind, Tok::Number(1000.0));
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let toks = lex("count() -- trailing note\n").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn rejects_unknown_characters_with_span() {
+        let err = lex("SELECT %").unwrap_err();
+        assert_eq!((err.start, err.end), (7, 8));
+        assert!(err.message.contains('%'), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_overflowing_literals() {
+        let err = lex("1e999").unwrap_err();
+        assert!(err.message.contains("overflows"), "{}", err.message);
+    }
+}

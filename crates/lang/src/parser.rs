@@ -1,0 +1,492 @@
+//! Hand-written recursive-descent parser for the statement language.
+//!
+//! Grammar (EBNF; keywords case-insensitive — the full reference with
+//! examples lives in `docs/QUERYLANG.md`):
+//!
+//! ```text
+//! statement := "SELECT" agg { "," agg } [ where ] [ mode ] [ "EXPLAIN" ]
+//! where     := "WHERE" pred { "AND" pred }
+//! pred      := dim "IN" "[" number "," number "]"
+//!            | "WITHIN" "BALL" "(" "(" number { "," number } ")" "," number ")"
+//! mode      := "WITH" "MODE" ( "exact" | "predict" | "auto" )
+//! agg       := "count" "(" ")"
+//!            | fn1 "(" dim ")"
+//!            | "quantile" "(" dim "," number ")"
+//!            | fn2 "(" dim "," dim ")"
+//! fn1       := "sum" | "mean" | "avg" | "variance" | "var" | "min"
+//!            | "max" | "median" | "p50" | "p95" | "p99"
+//! fn2       := "corr" | "correlation" | "regress" | "regression"
+//! dim       := "d" digits
+//! ```
+//!
+//! Semantic rules enforced here (not just shape): quantile levels lie in
+//! `[0, 1]`, range bounds are ordered, ball radii are positive, at most
+//! one ball, no duplicate range dimensions, and ranges and balls never
+//! mix (the core [`sea_common::Region`] is a box *or* a ball).
+
+use crate::ast::{AggSpec, BallPred, LogicalPlan, ModeHint, RangePred, Selection};
+use crate::error::ParseError;
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses one statement into a [`LogicalPlan`].
+///
+/// # Errors
+///
+/// A span-annotated [`ParseError`] on the first violation; the error's
+/// `Display` form is stable (golden-tested) and converts into
+/// [`sea_common::SeaError::InvalidArgument`] via `From`.
+///
+/// ```
+/// let plan = sea_lang::parse("SELECT mean(d0) WHERE d0 IN [0.0, 10.0]").unwrap();
+/// assert_eq!(plan.aggregates, vec![sea_lang::AggSpec::Mean(0)]);
+/// ```
+pub fn parse(src: &str) -> Result<LogicalPlan, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { src, toks, pos: 0 };
+    let plan = p.statement()?;
+    if let Some(tok) = p.peek() {
+        return Err(p.err_at(
+            tok.start,
+            tok.end,
+            format!(
+                "unexpected trailing input starting at {}",
+                tok.kind.describe()
+            ),
+        ));
+    }
+    Ok(plan)
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_at(&self, start: usize, end: usize, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.src, start, end, message)
+    }
+
+    /// Error at the current token, or at end of input.
+    fn err_here(&self, expected: &str) -> ParseError {
+        match self.peek() {
+            Some(t) => self.err_at(
+                t.start,
+                t.end,
+                format!("expected {expected}, found {}", t.kind.describe()),
+            ),
+            None => self.err_at(
+                self.src.len(),
+                self.src.len(),
+                format!("expected {expected}, found end of statement"),
+            ),
+        }
+    }
+
+    /// Consumes the next token if it is the given keyword
+    /// (case-insensitive).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token {
+            kind: Tok::Ident(s),
+            ..
+        }) = self.peek()
+        {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("keyword `{}`", kw)))
+        }
+    }
+
+    fn expect_punct(&mut self, kind: Tok, what: &str) -> Result<Token, ParseError> {
+        match self.peek() {
+            Some(t) if t.kind == kind => Ok(self.next().unwrap()),
+            _ => Err(self.err_here(what)),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<(f64, Token), ParseError> {
+        match self.peek() {
+            Some(Token {
+                kind: Tok::Number(_),
+                ..
+            }) => {
+                let t = self.next().unwrap();
+                let Tok::Number(v) = t.kind else {
+                    unreachable!()
+                };
+                Ok((v, t))
+            }
+            _ => Err(self.err_here("a number")),
+        }
+    }
+
+    /// `d<digits>`, e.g. `d0`.
+    fn expect_dim(&mut self) -> Result<usize, ParseError> {
+        match self.peek() {
+            Some(Token {
+                kind: Tok::Ident(s),
+                start,
+                end,
+            }) => {
+                let (start, end, s) = (*start, *end, s.clone());
+                let digits = s.strip_prefix('d').unwrap_or("");
+                if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                    digits.parse::<usize>().map_err(|_| {
+                        self.err_at(start, end, format!("dimension index `{s}` is out of range"))
+                    })
+                } else {
+                    Err(self.err_at(
+                        start,
+                        end,
+                        format!("expected a dimension like `d0`, found `{s}`"),
+                    ))
+                }
+            }
+            _ => Err(self.err_here("a dimension like `d0`")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<LogicalPlan, ParseError> {
+        if self.toks.is_empty() {
+            return Err(self.err_at(0, self.src.len(), "empty statement"));
+        }
+        self.expect_keyword("SELECT")?;
+        let mut aggregates = vec![self.aggregate()?];
+        while matches!(
+            self.peek(),
+            Some(Token {
+                kind: Tok::Comma,
+                ..
+            })
+        ) {
+            self.pos += 1;
+            aggregates.push(self.aggregate()?);
+        }
+        let selection = if self.eat_keyword("WHERE") {
+            self.where_clause()?
+        } else {
+            Selection::All
+        };
+        let mode = if self.eat_keyword("WITH") {
+            self.expect_keyword("MODE")?;
+            self.mode_keyword()?
+        } else {
+            ModeHint::Auto
+        };
+        let explain = self.eat_keyword("EXPLAIN");
+        Ok(LogicalPlan {
+            aggregates,
+            selection,
+            mode,
+            explain,
+        })
+    }
+
+    fn mode_keyword(&mut self) -> Result<ModeHint, ParseError> {
+        for (kw, mode) in [
+            ("exact", ModeHint::Exact),
+            ("predict", ModeHint::Predict),
+            ("auto", ModeHint::Auto),
+        ] {
+            if self.eat_keyword(kw) {
+                return Ok(mode);
+            }
+        }
+        Err(self.err_here("a query mode: `exact`, `predict`, or `auto`"))
+    }
+
+    fn aggregate(&mut self) -> Result<AggSpec, ParseError> {
+        let Some(Token {
+            kind: Tok::Ident(name),
+            start,
+            end,
+        }) = self.peek()
+        else {
+            return Err(self.err_here("an aggregate function"));
+        };
+        let (name, start, end) = (name.to_ascii_lowercase(), *start, *end);
+        self.pos += 1;
+        self.expect_punct(Tok::LParen, "`(`")?;
+        let spec = match name.as_str() {
+            "count" => {
+                if !matches!(
+                    self.peek(),
+                    Some(Token {
+                        kind: Tok::RParen,
+                        ..
+                    })
+                ) {
+                    let (s, e) = self
+                        .peek()
+                        .map_or((self.src.len(), self.src.len()), |t| (t.start, t.end));
+                    return Err(self.err_at(s, e, "count() takes no arguments"));
+                }
+                AggSpec::Count
+            }
+            "sum" => AggSpec::Sum(self.expect_dim()?),
+            "mean" | "avg" => AggSpec::Mean(self.expect_dim()?),
+            "variance" | "var" => AggSpec::Variance(self.expect_dim()?),
+            "min" => AggSpec::Min(self.expect_dim()?),
+            "max" => AggSpec::Max(self.expect_dim()?),
+            "median" => AggSpec::Median(self.expect_dim()?),
+            "p50" => AggSpec::Quantile(self.expect_dim()?, 0.5),
+            "p95" => AggSpec::Quantile(self.expect_dim()?, 0.95),
+            "p99" => AggSpec::Quantile(self.expect_dim()?, 0.99),
+            "quantile" => {
+                let dim = self.expect_dim()?;
+                self.expect_punct(Tok::Comma, "`,`")?;
+                let (q, qtok) = self.expect_number()?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(self.err_at(
+                        qtok.start,
+                        qtok.end,
+                        format!("quantile level must be within [0, 1], got {q:?}"),
+                    ));
+                }
+                AggSpec::Quantile(dim, q)
+            }
+            "corr" | "correlation" => {
+                let x = self.expect_dim()?;
+                self.expect_punct(Tok::Comma, "`,`")?;
+                AggSpec::Correlation(x, self.expect_dim()?)
+            }
+            "regress" | "regression" => {
+                let x = self.expect_dim()?;
+                self.expect_punct(Tok::Comma, "`,`")?;
+                AggSpec::Regression(x, self.expect_dim()?)
+            }
+            other => {
+                return Err(self.err_at(
+                    start,
+                    end,
+                    format!("expected aggregate function, found `{other}`"),
+                ))
+            }
+        };
+        self.expect_punct(Tok::RParen, "`)`")?;
+        Ok(spec)
+    }
+
+    fn where_clause(&mut self) -> Result<Selection, ParseError> {
+        let mut ranges: Vec<RangePred> = Vec::new();
+        let mut ball: Option<(BallPred, (usize, usize))> = None;
+        loop {
+            let pred_start = self
+                .peek()
+                .map_or((self.src.len(), self.src.len()), |t| (t.start, t.end));
+            if self.eat_keyword("WITHIN") {
+                let b = self.ball_pred()?;
+                let span = (pred_start.0, self.prev_end());
+                if ball.is_some() {
+                    return Err(self.err_at(
+                        span.0,
+                        span.1,
+                        "at most one ball predicate is allowed",
+                    ));
+                }
+                ball = Some((b, span));
+            } else {
+                let dim = self.expect_dim().map_err(|_| {
+                    self.err_here("a predicate: `d<i> IN [lo, hi]` or `WITHIN BALL((…), r)`")
+                })?;
+                self.expect_keyword("IN")?;
+                let open = self.expect_punct(Tok::LBracket, "`[`")?;
+                let (lo, _) = self.expect_number()?;
+                self.expect_punct(Tok::Comma, "`,`")?;
+                let (hi, _) = self.expect_number()?;
+                let close = self.expect_punct(Tok::RBracket, "`]`")?;
+                if lo > hi {
+                    return Err(self.err_at(
+                        open.start,
+                        close.end,
+                        format!("empty range: lower bound {lo:?} exceeds upper bound {hi:?}"),
+                    ));
+                }
+                if ranges.iter().any(|r| r.dim == dim) {
+                    return Err(self.err_at(
+                        pred_start.0,
+                        self.prev_end(),
+                        format!("duplicate range predicate for `d{dim}`"),
+                    ));
+                }
+                ranges.push(RangePred { dim, lo, hi });
+            }
+            if !self.eat_keyword("AND") {
+                break;
+            }
+        }
+        match (ranges.is_empty(), ball) {
+            (true, Some((b, _))) => Ok(Selection::Ball(b)),
+            (false, None) => {
+                ranges.sort_by_key(|r| r.dim);
+                Ok(Selection::Ranges(ranges))
+            }
+            (false, Some((_, span))) => Err(self.err_at(
+                span.0,
+                span.1,
+                "range and ball predicates cannot be combined: a selection is one box or one ball",
+            )),
+            (true, None) => Err(self.err_here("a predicate after `WHERE`")),
+        }
+    }
+
+    /// `BALL ( ( n {, n} ) , n )` — `WITHIN` already consumed.
+    fn ball_pred(&mut self) -> Result<BallPred, ParseError> {
+        self.expect_keyword("BALL")?;
+        self.expect_punct(Tok::LParen, "`(`")?;
+        self.expect_punct(Tok::LParen, "`(`")?;
+        let mut center = vec![self.expect_number()?.0];
+        while matches!(
+            self.peek(),
+            Some(Token {
+                kind: Tok::Comma,
+                ..
+            })
+        ) {
+            self.pos += 1;
+            center.push(self.expect_number()?.0);
+        }
+        self.expect_punct(Tok::RParen, "`)`")?;
+        self.expect_punct(Tok::Comma, "`,`")?;
+        let (radius, rtok) = self.expect_number()?;
+        if radius <= 0.0 {
+            return Err(self.err_at(
+                rtok.start,
+                rtok.end,
+                format!("ball radius must be positive, got {radius:?}"),
+            ));
+        }
+        self.expect_punct(Tok::RParen, "`)`")?;
+        Ok(BallPred { center, radius })
+    }
+
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        self.toks
+            .get(self.pos.wrapping_sub(1))
+            .map_or(self.src.len(), |t| t.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_headline_statement() {
+        let plan = parse(
+            "SELECT mean(d0), p95(d1) WHERE d0 IN [0.0, 10.0] AND d1 IN [5.0, 6.0] \
+             WITH MODE exact EXPLAIN",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.aggregates,
+            vec![AggSpec::Mean(0), AggSpec::Quantile(1, 0.95)]
+        );
+        assert_eq!(plan.mode, ModeHint::Exact);
+        assert!(plan.explain);
+        let Selection::Ranges(r) = &plan.selection else {
+            panic!("expected ranges");
+        };
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_ranges_sort() {
+        let plan = parse("select Count() where d1 in [1.0, 2.0] and d0 in [3.0, 4.0]").unwrap();
+        let Selection::Ranges(r) = &plan.selection else {
+            panic!("expected ranges");
+        };
+        assert_eq!((r[0].dim, r[1].dim), (0, 1));
+    }
+
+    #[test]
+    fn sugar_normalizes() {
+        let plan = parse("SELECT avg(d2), var(d0), p50(d1), correlation(d0, d1)").unwrap();
+        assert_eq!(
+            plan.aggregates,
+            vec![
+                AggSpec::Mean(2),
+                AggSpec::Variance(0),
+                AggSpec::Quantile(1, 0.5),
+                AggSpec::Correlation(0, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn ball_selection_parses() {
+        let plan = parse("SELECT count() WHERE WITHIN BALL((50.0, 50.0), 10.0)").unwrap();
+        assert_eq!(
+            plan.selection,
+            Selection::Ball(BallPred {
+                center: vec![50.0, 50.0],
+                radius: 10.0,
+            })
+        );
+    }
+
+    #[test]
+    fn structural_errors_have_spans() {
+        for (stmt, needle) in [
+            ("", "empty statement"),
+            ("FETCH count()", "expected keyword `SELECT`"),
+            ("SELECT frob(d0)", "expected aggregate function"),
+            ("SELECT count(d0)", "count() takes no arguments"),
+            ("SELECT mean(x)", "expected a dimension like `d0`"),
+            ("SELECT quantile(d0, 1.5)", "quantile level must be within"),
+            ("SELECT count() WHERE d0 IN [5.0, 2.0]", "empty range"),
+            (
+                "SELECT count() WHERE d0 IN [0.0, 1.0] AND d0 IN [2.0, 3.0]",
+                "duplicate range predicate",
+            ),
+            (
+                "SELECT count() WHERE d0 IN [0.0, 1.0] AND WITHIN BALL((0.0), 1.0)",
+                "cannot be combined",
+            ),
+            (
+                "SELECT count() WHERE WITHIN BALL((0.0), 1.0) AND WITHIN BALL((2.0), 1.0)",
+                "at most one ball",
+            ),
+            (
+                "SELECT count() WHERE WITHIN BALL((0.0), -1.0)",
+                "radius must be positive",
+            ),
+            ("SELECT count() WITH MODE turbo", "a query mode"),
+            ("SELECT count() garbage", "unexpected trailing input"),
+            ("SELECT mean(d0", "expected `)`"),
+        ] {
+            let err = parse(stmt).unwrap_err();
+            assert!(
+                err.message.contains(needle) || err.to_string().contains(needle),
+                "statement {stmt:?}: expected {needle:?} in {:?}",
+                err.to_string()
+            );
+            assert!(err.end <= stmt.len() || err.start >= stmt.len());
+        }
+    }
+}

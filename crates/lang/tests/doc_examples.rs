@@ -1,0 +1,106 @@
+//! CI enforcement for `docs/QUERYLANG.md`: every fenced ```sea block
+//! must parse, and every ```sea-error block (first line = statement,
+//! remaining lines = expected rendering) must reproduce its error
+//! byte-for-byte. The language reference cannot drift from the parser.
+
+use std::path::PathBuf;
+
+use sea_lang::parse;
+
+fn querylang_md() -> String {
+    let path: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "..",
+        "..",
+        "docs",
+        "QUERYLANG.md",
+    ]
+    .iter()
+    .collect();
+    std::fs::read_to_string(&path).expect("docs/QUERYLANG.md exists")
+}
+
+/// Extracts the bodies of fenced code blocks with the exact info string
+/// `lang` from `text`.
+fn fenced_blocks(text: &str, lang: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Vec<&str>> = None;
+    for line in text.lines() {
+        match &mut current {
+            None if line.trim() == format!("```{lang}") => current = Some(Vec::new()),
+            None => {}
+            Some(body) => {
+                if line.trim() == "```" {
+                    blocks.push(body.join("\n"));
+                    current = None;
+                } else {
+                    body.push(line);
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```{lang} block");
+    blocks
+}
+
+#[test]
+fn every_sea_block_parses() {
+    let doc = querylang_md();
+    let blocks = fenced_blocks(&doc, "sea");
+    assert!(
+        blocks.len() >= 10,
+        "expected the reference to cover at least 10 statement examples, found {}",
+        blocks.len()
+    );
+    for block in &blocks {
+        for stmt in block
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("--"))
+        {
+            if let Err(e) = parse(stmt) {
+                panic!("QUERYLANG.md example failed to parse:\n{e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_sea_error_block_reproduces_its_rendering() {
+    let doc = querylang_md();
+    let blocks = fenced_blocks(&doc, "sea-error");
+    assert!(
+        blocks.len() >= 8,
+        "expected the error catalog to cover at least 8 errors, found {}",
+        blocks.len()
+    );
+    for block in &blocks {
+        let (stmt, expected) = block
+            .split_once('\n')
+            .expect("sea-error block: statement line then rendering");
+        let err = parse(stmt).unwrap_err().to_string();
+        assert_eq!(
+            err, expected,
+            "QUERYLANG.md error rendering drifted for {stmt:?}"
+        );
+    }
+}
+
+#[test]
+fn canonical_prints_in_examples_are_fixed_points() {
+    // Examples written in canonical form should re-print identically —
+    // keeps the doc's spelling aligned with what users see echoed back.
+    let doc = querylang_md();
+    for block in fenced_blocks(&doc, "sea") {
+        for stmt in block
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("--"))
+        {
+            let plan = parse(stmt).unwrap();
+            let printed = plan.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(plan, reparsed, "round trip failed for {stmt:?}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Golden tests for parser error messages: the full span-annotated
+//! rendering is asserted verbatim, so any change to wording, spans, or
+//! caret layout is caught here (and must be mirrored in the error
+//! catalog of `docs/QUERYLANG.md`, which `doc_examples.rs` re-asserts).
+
+use sea_lang::parse;
+
+fn rendered(stmt: &str) -> String {
+    parse(stmt).unwrap_err().to_string()
+}
+
+#[test]
+fn unknown_aggregate() {
+    assert_eq!(
+        rendered("SELECT frob(d0)"),
+        "parse error at 7..11: expected aggregate function, found `frob`\n\
+         \x20 SELECT frob(d0)\n\
+         \x20        ^^^^"
+    );
+}
+
+#[test]
+fn count_with_arguments() {
+    assert_eq!(
+        rendered("SELECT count(d0)"),
+        "parse error at 13..15: count() takes no arguments\n\
+         \x20 SELECT count(d0)\n\
+         \x20              ^^"
+    );
+}
+
+#[test]
+fn bad_dimension() {
+    assert_eq!(
+        rendered("SELECT mean(width)"),
+        "parse error at 12..17: expected a dimension like `d0`, found `width`\n\
+         \x20 SELECT mean(width)\n\
+         \x20             ^^^^^"
+    );
+}
+
+#[test]
+fn quantile_out_of_range() {
+    assert_eq!(
+        rendered("SELECT quantile(d0, 1.5)"),
+        "parse error at 20..23: quantile level must be within [0, 1], got 1.5\n\
+         \x20 SELECT quantile(d0, 1.5)\n\
+         \x20                     ^^^"
+    );
+}
+
+#[test]
+fn empty_range() {
+    assert_eq!(
+        rendered("SELECT count() WHERE d0 IN [9.0, 2.0]"),
+        "parse error at 27..37: empty range: lower bound 9.0 exceeds upper bound 2.0\n\
+         \x20 SELECT count() WHERE d0 IN [9.0, 2.0]\n\
+         \x20                            ^^^^^^^^^^"
+    );
+}
+
+#[test]
+fn duplicate_range_dimension() {
+    assert_eq!(
+        rendered("SELECT count() WHERE d0 IN [0.0, 1.0] AND d0 IN [2.0, 3.0]"),
+        "parse error at 42..58: duplicate range predicate for `d0`\n\
+         \x20 SELECT count() WHERE d0 IN [0.0, 1.0] AND d0 IN [2.0, 3.0]\n\
+         \x20                                           ^^^^^^^^^^^^^^^^"
+    );
+}
+
+#[test]
+fn mixed_box_and_ball() {
+    assert_eq!(
+        rendered("SELECT count() WHERE d0 IN [0.0, 1.0] AND WITHIN BALL((5.0, 5.0), 2.0)"),
+        "parse error at 42..70: range and ball predicates cannot be combined: \
+         a selection is one box or one ball\n\
+         \x20 SELECT count() WHERE d0 IN [0.0, 1.0] AND WITHIN BALL((5.0, 5.0), 2.0)\n\
+         \x20                                           ^^^^^^^^^^^^^^^^^^^^^^^^^^^^"
+    );
+}
+
+#[test]
+fn negative_radius() {
+    assert_eq!(
+        rendered("SELECT count() WHERE WITHIN BALL((5.0, 5.0), -2.0)"),
+        "parse error at 45..49: ball radius must be positive, got -2.0\n\
+         \x20 SELECT count() WHERE WITHIN BALL((5.0, 5.0), -2.0)\n\
+         \x20                                              ^^^^"
+    );
+}
+
+#[test]
+fn unknown_mode() {
+    assert_eq!(
+        rendered("SELECT count() WITH MODE turbo"),
+        "parse error at 25..30: expected a query mode: `exact`, `predict`, or `auto`, \
+         found `turbo`\n\
+         \x20 SELECT count() WITH MODE turbo\n\
+         \x20                          ^^^^^"
+    );
+}
+
+#[test]
+fn truncated_statement_points_past_the_end() {
+    assert_eq!(
+        rendered("SELECT mean(d0"),
+        "parse error at 14..14: expected `)`, found end of statement\n\
+         \x20 SELECT mean(d0\n\
+         \x20               ^"
+    );
+}
+
+#[test]
+fn trailing_garbage() {
+    assert_eq!(
+        rendered("SELECT count() EXPLAIN banana"),
+        "parse error at 23..29: unexpected trailing input starting at `banana`\n\
+         \x20 SELECT count() EXPLAIN banana\n\
+         \x20                        ^^^^^^"
+    );
+}

@@ -107,6 +107,84 @@ impl<'a> ExecutionEngines<'a> {
         }
     }
 
+    /// Estimates the modelled wall-clock (µs) of executing `query` with
+    /// `strategy` **without touching any data** — the planner-side cost
+    /// model behind `sea-lang`'s access-path choice and EXPLAIN's
+    /// "estimated vs actual" comparison.
+    ///
+    /// * [`QueryStrategy::ScanAggregate`] — priced from the block
+    ///   catalog: every block whose zone-map bounds overlap the query's
+    ///   bounding box is charged a sequential read plus per-record CPU,
+    ///   and each engaged node ships a constant-size partial. No
+    ///   per-record filtering happens, so the estimate differs from the
+    ///   measured cost exactly where zone maps are imprecise.
+    /// * [`QueryStrategy::IndexFetch`] — priced from the grid index:
+    ///   candidate ids from overlapping cells, one point read each,
+    ///   spread across the cluster — the same arithmetic as the real
+    ///   fetch, which reads records only to aggregate them, so estimate
+    ///   and actual coincide.
+    ///
+    /// Deterministic: same engines, same query, same number.
+    ///
+    /// # Errors
+    ///
+    /// Missing table or invalid query geometry.
+    pub fn estimate_cost(
+        &self,
+        strategy: QueryStrategy,
+        query: &AnalyticalQuery,
+        cost_model: &CostModel,
+    ) -> Result<f64> {
+        let bbox = query.region.bounding_rect();
+        let mut coord = CostMeter::new();
+        let mut node_meters: Vec<CostMeter> = Vec::new();
+        match strategy {
+            QueryStrategy::ScanAggregate => {
+                // node -> (blocks overlapping bbox, records in them).
+                let mut per_node: std::collections::BTreeMap<usize, (u64, u64)> =
+                    std::collections::BTreeMap::new();
+                for (node, _, bounds, bytes, len) in self.cluster.block_catalog(&self.table)? {
+                    if bounds.intersects(&bbox) {
+                        let e = per_node.entry(node).or_insert((0, 0));
+                        e.0 += bytes;
+                        e.1 += len as u64;
+                    }
+                }
+                for (bytes, records) in per_node.values() {
+                    coord.charge_lan(64); // request fan-out
+                    let mut m = CostMeter::new();
+                    m.touch_node(DIRECT_LAYERS);
+                    m.charge_disk_read(*bytes);
+                    m.charge_cpu(*records);
+                    m.charge_lan(24); // constant-size partial
+                    node_meters.push(m);
+                }
+                coord.charge_cpu(per_node.len() as u64);
+            }
+            QueryStrategy::IndexFetch => {
+                let candidates = self.grid.candidates(&bbox)?.len();
+                let nodes = self.cluster.num_nodes().max(1);
+                let per_node = candidates.div_ceil(nodes).max(1);
+                let mut remaining = candidates;
+                while remaining > 0 {
+                    let chunk = remaining.min(per_node);
+                    let mut m = CostMeter::new();
+                    m.touch_node(DIRECT_LAYERS);
+                    for _ in 0..chunk {
+                        m.charge_point_read(self.record_bytes);
+                    }
+                    m.charge_lan(chunk as u64 * self.record_bytes);
+                    node_meters.push(m);
+                    remaining -= chunk;
+                }
+                coord.charge_cpu(candidates as u64);
+            }
+        }
+        Ok(coord
+            .report_parallel(node_meters.iter(), cost_model)
+            .wall_us)
+    }
+
     /// Index-driven execution: candidate ids from overlapping grid cells,
     /// one point read per candidate, aggregation at the coordinator.
     fn index_fetch(&self, query: &AnalyticalQuery, cost_model: &CostModel) -> Result<QueryOutcome> {
@@ -279,6 +357,56 @@ mod tests {
             }
         }
         assert!(saw_fetch && saw_scan, "both strategies win somewhere");
+    }
+
+    #[test]
+    fn estimates_rank_strategies_like_the_oracle_at_the_extremes() {
+        let c = cluster();
+        let eng = engines(&c);
+        let model = CostModel::default();
+        let narrow = count_query(50.0, 0.5);
+        let est_scan = eng
+            .estimate_cost(QueryStrategy::ScanAggregate, &narrow, &model)
+            .unwrap();
+        let est_fetch = eng
+            .estimate_cost(QueryStrategy::IndexFetch, &narrow, &model)
+            .unwrap();
+        assert!(
+            est_fetch < est_scan,
+            "narrow: index should estimate cheaper ({est_fetch} vs {est_scan})"
+        );
+        let wide = count_query(50.0, 50.0);
+        let est_scan = eng
+            .estimate_cost(QueryStrategy::ScanAggregate, &wide, &model)
+            .unwrap();
+        let est_fetch = eng
+            .estimate_cost(QueryStrategy::IndexFetch, &wide, &model)
+            .unwrap();
+        assert!(
+            est_scan < est_fetch,
+            "wide: scan should estimate cheaper ({est_scan} vs {est_fetch})"
+        );
+    }
+
+    #[test]
+    fn index_estimate_matches_measured_cost_and_scan_estimate_is_deterministic() {
+        let c = cluster();
+        let eng = engines(&c);
+        let model = CostModel::default();
+        let q = count_query(50.0, 2.0);
+        let est = eng
+            .estimate_cost(QueryStrategy::IndexFetch, &q, &model)
+            .unwrap();
+        let actual = eng.execute(QueryStrategy::IndexFetch, &q, &model).unwrap();
+        assert_eq!(est.to_bits(), actual.cost.wall_us.to_bits());
+        let a = eng
+            .estimate_cost(QueryStrategy::ScanAggregate, &q, &model)
+            .unwrap();
+        let b = eng
+            .estimate_cost(QueryStrategy::ScanAggregate, &q, &model)
+            .unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert!(a > 0.0);
     }
 
     #[test]

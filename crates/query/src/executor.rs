@@ -255,6 +255,13 @@ impl<'a> Executor<'a> {
         &self.telemetry
     }
 
+    /// The cluster this executor answers from. The borrow carries the
+    /// executor's lifetime, so planners (e.g. `sea-lang`) can derive
+    /// schemas and secondary indexes that outlive the executor value.
+    pub fn cluster(&self) -> &'a StorageCluster {
+        self.cluster
+    }
+
     /// The executor's cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost_model

@@ -232,6 +232,18 @@ impl<'a> QueryService<'a> {
         self.executor.telemetry()
     }
 
+    /// The shared exact executor behind the front door (read-only:
+    /// submissions must go through [`QueryService::submit`] so admission
+    /// control and the ledger see them).
+    pub fn executor(&self) -> &Executor<'a> {
+        &self.executor
+    }
+
+    /// The table this service answers against.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
     /// Submits one query on behalf of `tenant`: refill the tenant's
     /// token bucket, check budget then rate, execute if admitted, and
     /// record a ledger row whatever happens.

@@ -1,0 +1,63 @@
+//! Statement replay: run `sea-lang` statements from a file against a
+//! freshly generated cluster, printing each statement's canonical form,
+//! answers, and simulated cost — and the full EXPLAIN report for
+//! statements that ask for one.
+//!
+//! ```text
+//! cargo run -p sea-bench --release --example repl [-- <statements.sea>]
+//! ```
+//!
+//! With no argument it replays the checked-in E22 workload
+//! (`crates/bench/data/e22_replay.sea`). The file format is one
+//! statement per line; `--` starts a comment; blank lines are skipped
+//! (see docs/QUERYLANG.md for the statement grammar).
+
+use sea_common::Rect;
+use sea_lang::Frontend;
+use sea_query::Executor;
+use sea_storage::{Partitioning, StorageCluster};
+use sea_workload::{DataGenerator, DataSpec};
+
+fn main() -> sea_common::Result<()> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/data/e22_replay.sea").to_string());
+    let source = std::fs::read_to_string(&path)
+        .map_err(|e| sea_common::SeaError::NotFound(format!("{path}: {e}")))?;
+
+    // Same shape as the E22 cluster: 100k uniform records over [0,100]².
+    let domain = Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])?;
+    let data = DataGenerator::new(DataSpec::Uniform { domain }, 3).generate(100_000)?;
+    let mut cluster = StorageCluster::new(8, 512);
+    cluster.load_table("t", data, Partitioning::Hash)?;
+
+    let mut front = Frontend::new(Executor::new(&cluster), "t")?.with_engines(10)?;
+    println!("replaying {path}");
+    for line in source.lines() {
+        let stmt = line.trim();
+        if stmt.is_empty() || stmt.starts_with("--") {
+            continue;
+        }
+        match front.run(stmt) {
+            Ok(out) => {
+                println!("\n> {}", out.plan);
+                if let Some(explain) = &out.explain {
+                    println!("{explain}");
+                } else {
+                    for r in &out.results {
+                        println!(
+                            "  {} = {:?}  [{} via {:?}, {:.1} sim ms]",
+                            r.spec,
+                            r.answer,
+                            r.source,
+                            r.strategy,
+                            r.cost.wall_us / 1e3
+                        );
+                    }
+                }
+            }
+            Err(e) => println!("\n> {stmt}\n{e}"),
+        }
+    }
+    Ok(())
+}
